@@ -1,0 +1,72 @@
+"""Ablations of NRP's own design choices (DESIGN.md section 6).
+
+1. Weight-update mode: the paper's sequential Gauss-Seidel sweep vs the
+   vectorized Jacobi variant (quality/time tradeoff).
+2. b1 handling: the paper's AM-GM approximation (Eq. 14) vs the exact
+   b1 available from Lambda at no asymptotic extra cost.
+3. SVD initialization: BKSVD (paper) vs plain randomized SVD vs exact.
+"""
+
+import pytest
+
+from conftest import report
+from repro.bench import bench_scale, fit_timed, format_table
+from repro.core import NRP
+from repro.datasets import load_dataset
+from repro.graph import link_prediction_split
+from repro.rng import spawn_rngs
+from repro.tasks import evaluate_link_prediction
+
+
+def _split():
+    data = load_dataset("wiki_sim", scale=bench_scale() * 0.3)
+    split_rng, _ = spawn_rngs(0, 2)
+    return link_prediction_split(data.graph, seed=split_rng)
+
+
+def test_ablation_update_mode_and_b1(benchmark):
+    split = _split()
+
+    def run():
+        rows = []
+        for mode, exact_b1 in (("sequential", False), ("sequential", True),
+                               ("jacobi", False), ("jacobi", True)):
+            model = NRP(dim=64, lam=0.1, update_mode=mode,
+                        exact_b1=exact_b1, seed=0)
+            fitted = fit_timed(model, split.train_graph)
+            auc = evaluate_link_prediction(fitted.embedder, split,
+                                           seed=1).auc
+            rows.append([f"{mode}, b1={'exact' if exact_b1 else 'amgm'}",
+                         auc, fitted.seconds])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("ablation_update_mode",
+           "\nAblation - weight update mode x b1 handling (wiki_sim)\n"
+           + format_table(["variant", "AUC", "seconds"], rows))
+    aucs = [r[1] for r in rows]
+    # all variants land in the same quality band (the approximation and
+    # the Jacobi relaxation are benign), max spread 2% AUC
+    assert max(aucs) - min(aucs) < 0.02
+
+
+def test_ablation_svd_backend(benchmark):
+    split = _split()
+
+    def run():
+        rows = []
+        for svd in ("bksvd", "rsvd", "exact"):
+            model = NRP(dim=64, lam=0.1, svd=svd, seed=0)
+            fitted = fit_timed(model, split.train_graph)
+            auc = evaluate_link_prediction(fitted.embedder, split,
+                                           seed=1).auc
+            rows.append([svd, auc, fitted.seconds])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("ablation_svd",
+           "\nAblation - SVD initialization backend (wiki_sim)\n"
+           + format_table(["backend", "AUC", "seconds"], rows))
+    table = {r[0]: r[1] for r in rows}
+    # BKSVD should track the exact factorization closely (Theorem 1)
+    assert abs(table["bksvd"] - table["exact"]) < 0.02

@@ -1,0 +1,62 @@
+"""Figure 10: scalability on Erdos-Renyi graphs.
+
+The paper fixes one of (n, m) and sweeps the other, showing NRP's
+running time grows linearly in both. We reproduce the sweep at laptop
+scale and check near-linear growth (time ratio between the largest and
+smallest configuration stays close to the size ratio).
+"""
+
+import pytest
+
+from conftest import report
+from repro.bench import bench_scale, fit_timed, format_series_block
+from repro.core import NRP
+from repro.graph import erdos_renyi
+
+N_SWEEP = (5_000, 10_000, 15_000, 20_000)      # fixed m
+M_FIXED = 60_000
+M_SWEEP = (30_000, 60_000, 90_000, 120_000)    # fixed n
+N_FIXED = 10_000
+
+
+def _nrp() -> NRP:
+    # ell2 reduced to keep the sweep quick; scaling in n is unaffected
+    return NRP(dim=32, ell2=5, lam=0.1, seed=0)
+
+
+def test_fig10a_vary_nodes(benchmark):
+    scale = bench_scale()
+
+    def run():
+        times = []
+        for n in N_SWEEP:
+            graph = erdos_renyi(int(n * scale), int(M_FIXED * scale),
+                                seed=17)
+            times.append(fit_timed(_nrp(), graph).seconds)
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig10a_nodes", format_series_block(
+        f"Figure 10a - NRP seconds vs n (m={M_FIXED})", "n", N_SWEEP,
+        {"NRP": times}))
+    # near-linear: 4x nodes should cost well under ~10x time
+    assert times[-1] < 10.0 * max(times[0], 1e-3)
+    assert times[-1] > times[0] * 0.8              # and it does grow
+
+
+def test_fig10b_vary_edges(benchmark):
+    scale = bench_scale()
+
+    def run():
+        times = []
+        for m in M_SWEEP:
+            graph = erdos_renyi(int(N_FIXED * scale), int(m * scale),
+                                seed=23)
+            times.append(fit_timed(_nrp(), graph).seconds)
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig10b_edges", format_series_block(
+        f"Figure 10b - NRP seconds vs m (n={N_FIXED})", "m", M_SWEEP,
+        {"NRP": times}))
+    assert times[-1] < 10.0 * max(times[0], 1e-3)

@@ -1,0 +1,59 @@
+"""Figure 11: NRP running time vs its hyperparameters.
+
+Expected shapes (matching the complexity
+O((log n / eps + ell1) m k' + log n / eps n k'^2 + ell2 n k'^2)):
+time grows with ell1 and ell2, shrinks as eps grows (fewer Krylov
+iterations), and is nearly flat in alpha.
+"""
+
+import pytest
+
+from conftest import report
+from repro.bench import bench_scale, fit_timed, format_series_block
+from repro.core import NRP
+from repro.datasets import load_dataset
+
+ELL1S = (1, 10, 20, 40, 60)
+ELL2S = (0, 2, 5, 10, 20)
+ALPHAS = (0.1, 0.3, 0.5, 0.7, 0.9)
+EPSES = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def test_fig11_runtime_vs_parameters(benchmark):
+    # the denser TWeibo analogue, where the ell1 propagation term
+    # (ell1 * m * k') is visible next to the BKSVD cost
+    data = load_dataset("tweibo_sim", scale=bench_scale() * 0.25)
+    graph = data.graph
+
+    def time_with(**kwargs):
+        defaults = dict(dim=128, lam=0.1, seed=0)
+        defaults.update(kwargs)
+        return fit_timed(NRP(**defaults), graph).seconds
+
+    def run():
+        return {
+            "ell1": [time_with(ell1=v) for v in ELL1S],
+            "ell2": [time_with(ell2=v) for v in ELL2S],
+            "alpha": [time_with(alpha=v) for v in ALPHAS],
+            "eps": [time_with(eps=v) for v in EPSES],
+        }
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig11a_ell1", format_series_block(
+        "Figure 11a - NRP seconds vs ell1 (tweibo_sim)", "ell1", ELL1S,
+        {"NRP": series["ell1"]}))
+    report("fig11b_ell2", format_series_block(
+        "Figure 11b - NRP seconds vs ell2 (tweibo_sim)", "ell2", ELL2S,
+        {"NRP": series["ell2"]}))
+    report("fig11c_alpha", format_series_block(
+        "Figure 11c - NRP seconds vs alpha (tweibo_sim)", "alpha", ALPHAS,
+        {"NRP": series["alpha"]}))
+    report("fig11d_eps", format_series_block(
+        "Figure 11d - NRP seconds vs eps (tweibo_sim)", "eps", EPSES,
+        {"NRP": series["eps"]}))
+
+    assert series["ell1"][-1] > series["ell1"][0]       # grows with ell1
+    assert series["ell2"][-1] > series["ell2"][0]       # grows with ell2
+    # flat-ish in alpha: max/min well inside the ell2 growth factor
+    ratio = max(series["alpha"]) / max(min(series["alpha"]), 1e-6)
+    assert ratio < 3.0

@@ -1,0 +1,52 @@
+"""Figure 6: node classification Micro-F1 vs training fraction.
+
+One-vs-rest logistic regression on each method's node features with the
+top-ell multilabel protocol. Expected shapes: NRP/ProNE near the top,
+F1 non-decreasing in the training fraction.
+"""
+
+import pytest
+
+from conftest import report
+from repro.bench import bench_scale, build_method, format_series_block
+from repro.datasets import load_dataset
+from repro.tasks import evaluate_classification
+
+METHODS = ("nrp", "approxppr", "arope", "randne", "prone", "verse")
+FRACTIONS = (0.1, 0.5, 0.9)
+DATASETS = ("wiki_sim", "blog_sim")
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_fig6_classification(benchmark, dataset_name):
+    data = load_dataset(dataset_name, scale=bench_scale() * 0.35)
+
+    def run():
+        micro, macro = {}, {}
+        for method in METHODS:
+            model = build_method(method, 64, seed=0).fit(data.graph)
+            feats = model.node_features()
+            micro[method] = []
+            macro[method] = []
+            for frac in FRACTIONS:
+                result = evaluate_classification(feats, data.membership,
+                                                 frac, seed=0)
+                micro[method].append(result.micro_f1)
+                macro[method].append(result.macro_f1)
+        return micro, macro
+
+    micro, macro = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(f"fig6_micro_{dataset_name}",
+           format_series_block(
+               f"Figure 6 - Micro-F1 vs train fraction ({dataset_name})",
+               "frac", FRACTIONS, micro))
+    report(f"fig6_macro_{dataset_name}",
+           format_series_block(
+               f"Figure 6 - Macro-F1 vs train fraction ({dataset_name})",
+               "frac", FRACTIONS, macro))
+    # labels come from communities, so every competent method clears chance;
+    # NRP must sit in the top group (within 5% of the best)
+    best = max(m[-1] for m in micro.values())
+    assert micro["nrp"][-1] >= best - 0.05
+    # more training data should not hurt
+    assert micro["nrp"][-1] >= micro["nrp"][0] - 0.02

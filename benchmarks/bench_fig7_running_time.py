@@ -1,0 +1,63 @@
+"""Figure 7: embedding construction time vs k (single thread).
+
+Times every scalable method across k and the full roster once at
+k = 64. Expected shape: RandNE / ProNE / AROPE / ApproxPPR fastest,
+NRP close behind, walk- and neural-based methods orders of magnitude
+slower — mirroring the paper's log-scale Figure 7.
+"""
+
+import pytest
+
+from conftest import report
+from repro.bench import (FULL_METHOD_SET, bench_scale, build_method,
+                         fit_timed, format_series_block, format_table)
+from repro.datasets import load_dataset
+
+SWEEP_METHODS = ("nrp", "approxppr", "strap", "arope", "randne", "prone")
+SWEEP_DIMS = (16, 32, 64, 128, 256)
+
+
+def test_fig7_time_vs_k(benchmark):
+    data = load_dataset("wiki_sim", scale=bench_scale() * 0.35)
+
+    def run():
+        series = {}
+        for method in SWEEP_METHODS:
+            series[method] = [
+                fit_timed(build_method(method, k, seed=0),
+                          data.graph).seconds
+                for k in SWEEP_DIMS]
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig7_time_vs_k",
+           format_series_block(
+               "Figure 7 - construction seconds vs k (wiki_sim)",
+               "k", SWEEP_DIMS, series))
+    # time grows with k but stays sane
+    assert series["nrp"][-1] >= series["nrp"][0]
+
+
+def test_fig7_full_roster_times(benchmark):
+    data = load_dataset("wiki_sim", scale=bench_scale() * 0.35)
+
+    def run():
+        rows = []
+        for method in FULL_METHOD_SET:
+            try:
+                rows.append([method,
+                             fit_timed(build_method(method, 64, seed=0),
+                                       data.graph).seconds])
+            except Exception:
+                rows.append([method, float("nan")])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows.sort(key=lambda r: r[1] if r[1] == r[1] else 1e9)
+    report("fig7_roster_times",
+           "\nFigure 7 - full roster construction seconds (k=64, "
+           "wiki_sim)\n" + format_table(["method", "seconds"], rows))
+    times = {r[0]: r[1] for r in rows}
+    # the paper's headline: NRP orders faster than walk-based learning
+    assert times["nrp"] < times["deepwalk"]
+    assert times["nrp"] < times["node2vec"]

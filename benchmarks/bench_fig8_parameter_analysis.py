@@ -1,0 +1,74 @@
+"""Figure 8: NRP link-prediction AUC vs its four hyperparameters.
+
+Reproduces the paper's parameter study: AUC vs alpha (8a), vs the BKSVD
+error eps (8b), vs ell1 (8c), vs ell2 (8d). Expected shapes:
+* alpha: best at 0.1-0.2, degrading toward 0.9;
+* eps: flat-then-degrading as the SVD gets sloppier;
+* ell1: rising steeply to ~10-15, then flat;
+* ell2: large jump from 0 (reweighting disabled) to ~5-10, then flat —
+  the paper's central ablation.
+"""
+
+import pytest
+
+from conftest import report
+from repro.bench import bench_scale, format_series_block
+from repro.core import NRP
+from repro.datasets import load_dataset
+from repro.graph import link_prediction_split
+from repro.rng import spawn_rngs
+from repro.tasks import evaluate_link_prediction
+
+ALPHAS = (0.1, 0.3, 0.5, 0.7, 0.9)
+EPSES = (0.1, 0.3, 0.5, 0.7, 0.9)
+ELL1S = (1, 2, 5, 10, 20, 30)
+ELL2S = (0, 1, 2, 5, 10, 20)
+DATASETS = ("wiki_sim", "blog_sim")
+
+
+def _auc(split, **kwargs) -> float:
+    defaults = dict(dim=64, lam=0.1, seed=0)
+    defaults.update(kwargs)
+    model = NRP(**defaults).fit(split.train_graph)
+    return evaluate_link_prediction(model, split, seed=1).auc
+
+
+def test_fig8_parameters(benchmark):
+    def run():
+        out = {}
+        for name in DATASETS:
+            data = load_dataset(name, scale=bench_scale() * 0.3)
+            split_rng, _ = spawn_rngs(0, 2)
+            split = link_prediction_split(data.graph, seed=split_rng)
+            out[name] = {
+                "alpha": [_auc(split, alpha=a) for a in ALPHAS],
+                "eps": [_auc(split, eps=e) for e in EPSES],
+                "ell1": [_auc(split, ell1=l) for l in ELL1S],
+                "ell2": [_auc(split, ell2=l) for l in ELL2S],
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, series in results.items():
+        report(f"fig8a_alpha_{name}", format_series_block(
+            f"Figure 8a - AUC vs alpha ({name})", "alpha", ALPHAS,
+            {"NRP": series["alpha"]}))
+        report(f"fig8b_eps_{name}", format_series_block(
+            f"Figure 8b - AUC vs eps ({name})", "eps", EPSES,
+            {"NRP": series["eps"]}))
+        report(f"fig8c_ell1_{name}", format_series_block(
+            f"Figure 8c - AUC vs ell1 ({name})", "ell1", ELL1S,
+            {"NRP": series["ell1"]}))
+        report(f"fig8d_ell2_{name}", format_series_block(
+            f"Figure 8d - AUC vs ell2 ({name})", "ell2", ELL2S,
+            {"NRP": series["ell2"]}))
+
+    for name, series in results.items():
+        # 8a: small alpha beats large alpha
+        assert series["alpha"][0] > series["alpha"][-1]
+        # 8c: ell1 = 20 far better than ell1 = 1, then saturates
+        assert series["ell1"][4] > series["ell1"][0]
+        assert abs(series["ell1"][5] - series["ell1"][4]) < 0.02
+        # 8d: reweighting on (ell2 = 10) beats off (ell2 = 0); saturates
+        assert series["ell2"][4] > series["ell2"][0]
+        assert abs(series["ell2"][5] - series["ell2"][4]) < 0.02

@@ -1,0 +1,31 @@
+"""Benchmark-suite plumbing.
+
+Each bench registers paper-style result tables via :func:`report`; they
+are printed in the terminal summary (so ``pytest benchmarks/
+--benchmark-only`` shows them alongside pytest-benchmark's timing table)
+and persisted under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+_BLOCKS: list[str] = []
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, block: str) -> None:
+    """Register a result table for the terminal summary + results dir."""
+    _BLOCKS.append(block)
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    with open(_RESULTS_DIR / f"{name}.txt", "w", encoding="utf-8") as fh:
+        fh.write(block + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _BLOCKS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction tables")
+    for block in _BLOCKS:
+        terminalreporter.write_line(block)

@@ -1,0 +1,56 @@
+"""Extension example: attributed graphs (the paper's future-work item).
+
+Run:  python examples/attributed_graphs.py
+
+Section 6 of the paper leaves attributed graphs to future work. This
+example shows the bipartite-augmentation extension shipped in
+``repro.core.attributed``: user tags become auxiliary nodes, PPR flows
+through shared tags, and NRP reweights the augmented graph. We measure
+the effect on link prediction when the graph is sparse but tags are
+informative, and persist/reload the embeddings via ``repro.io``.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.attributed import AttributedNRP
+from repro.datasets import load_dataset
+from repro.graph import link_prediction_split
+from repro.io import load_embeddings, save_embeddings
+from repro.ml import auc_score
+from repro.tasks import evaluate_link_prediction
+
+
+def main() -> None:
+    data = load_dataset("wiki_sim", scale=0.25)
+    graph, tags = data.graph, data.membership
+    print(f"Graph: {graph}, tag matrix: {tags.shape}")
+
+    split = link_prediction_split(graph, seed=5)
+
+    plain = AttributedNRP(dim=64, attributes=np.zeros_like(tags),
+                          lam=0.1, seed=0).fit(split.train_graph)
+    tagged = AttributedNRP(dim=64, attributes=tags,
+                           lam=0.1, seed=0).fit(split.train_graph)
+    auc_plain = evaluate_link_prediction(plain, split, seed=1).auc
+    auc_tagged = evaluate_link_prediction(tagged, split, seed=1).auc
+    print(f"\nLink prediction AUC without tags: {auc_plain:.4f}")
+    print(f"Link prediction AUC with tags:    {auc_tagged:.4f}")
+    print("Tags correlate with communities, so attribute hops add real "
+          "signal on the sparsified training graph.")
+
+    # persist + reload: the embedding step decouples from downstream tasks
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "nrp_attr.npz"
+        save_embeddings(tagged, path, metadata={"dataset": "wiki_sim"})
+        bundle = load_embeddings(path)
+        src, dst, labels = split.test_pairs
+        auc_reloaded = auc_score(labels, bundle.score_pairs(src, dst))
+        print(f"\nReloaded-from-disk AUC: {auc_reloaded:.4f} "
+              f"(identical scoring path: {np.isclose(auc_reloaded, auc_tagged)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Domain example: friend recommendation on a social-network analogue.
+
+Run:  python examples/link_prediction_social.py
+
+Reproduces the paper's link-prediction protocol end to end on the
+BlogCatalog analogue: hide 30% of friendships, embed the residual
+network with several methods, and rank the hidden friendships against
+non-friends. This is the "who should I follow?" workload that motivates
+the paper's Section 1 argument about mutual friends.
+"""
+
+from repro.bench import build_method, format_table
+from repro.datasets import load_dataset
+from repro.graph import link_prediction_split
+from repro.tasks import evaluate_link_prediction
+
+METHODS = ("nrp", "approxppr", "strap", "arope", "randne", "prone", "verse")
+
+
+def main() -> None:
+    data = load_dataset("blog_sim", scale=0.3)
+    graph = data.graph
+    print(f"Social network analogue: {graph}")
+
+    split = link_prediction_split(graph, test_fraction=0.3, seed=7)
+    print(f"Hidden friendships: {len(split.pos_src)}, "
+          f"negatives sampled: {len(split.neg_src)}\n")
+
+    rows = []
+    for method in METHODS:
+        model = build_method(method, 64, seed=0).fit(split.train_graph)
+        result = evaluate_link_prediction(model, split, seed=1)
+        rows.append([method, result.auc, result.scoring])
+    rows.sort(key=lambda r: -r[1])
+    print(format_table(["method", "AUC", "scoring"], rows))
+
+    best = rows[0][0]
+    print(f"\nBest method: {best}")
+    print("Expected: NRP in the top group and strictly above the vanilla-"
+          "PPR methods (approxppr, verse) - the effect of node "
+          "reweighting. At this reduced scale the near-exact STRAP and "
+          "AROPE can tie or edge ahead; the paper's Fig. 7 regime (and our "
+          "timing bench) shows why they cannot sustain it at size.")
+
+    # concrete recommendations for one user
+    model = build_method("nrp", 64, seed=0).fit(split.train_graph)
+    user = int(split.pos_src[0])
+    scores = model.score_all_from(user)
+    # mask out existing friends and self
+    scores[user] = -1e18
+    scores[split.train_graph.out_neighbors(user)] = -1e18
+    top = scores.argsort()[::-1][:5]
+    print(f"\nTop-5 friend recommendations for user {user}: {top.tolist()}")
+    hidden = {int(d) for s, d in zip(split.pos_src, split.pos_dst)
+              if int(s) == user}
+    hidden |= {int(s) for s, d in zip(split.pos_src, split.pos_dst)
+               if int(d) == user}
+    hits = [int(t) for t in top if int(t) in hidden]
+    print(f"Of these, actually hidden friendships: {hits or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Domain example: predicting user interest tags from graph structure.
+
+Run:  python examples/node_classification_tags.py
+
+The TWeibo workload of the paper: users carry interest tags correlated
+with who they follow; we embed the (directed) follow graph and train a
+one-vs-rest logistic regression on a fraction of labeled users, then
+predict tags for the rest with the top-ell multilabel rule. Sweeps the
+training fraction like the paper's Figure 6.
+"""
+
+from repro.bench import build_method, format_series_block
+from repro.datasets import load_dataset
+from repro.tasks import evaluate_classification
+
+METHODS = ("nrp", "approxppr", "arope", "prone")
+FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def main() -> None:
+    data = load_dataset("wiki_sim", scale=0.3)
+    graph = data.graph
+    print(f"Directed graph with tags: {graph}, labels={data.num_labels}")
+    print(f"Mean tags per node: {data.membership.sum(1).mean():.2f}\n")
+
+    micro = {}
+    for method in METHODS:
+        model = build_method(method, 64, seed=0).fit(graph)
+        feats = model.node_features()
+        micro[method] = [
+            evaluate_classification(feats, data.membership, frac,
+                                    seed=0).micro_f1
+            for frac in FRACTIONS]
+    print(format_series_block("Micro-F1 vs training fraction (Figure 6 "
+                              "protocol)", "frac", FRACTIONS, micro))
+
+    print("Reading: directed-graph-aware methods (NRP, ApproxPPR) keep an")
+    print("edge over undirected factorizations on this directed analogue;")
+    print("more labeled data helps every method.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: embed a graph with NRP and inspect what reweighting does.
+
+Run:  python examples/quickstart.py
+
+Covers the core public API in ~60 lines:
+1. build a graph (here: the paper's own Figure-1 example),
+2. fit NRP and its un-reweighted baseline ApproxPPR,
+3. show the paper's Section-1 motivating comparison — vanilla PPR ranks
+   the (v9, v7) pair above (v2, v4), NRP's degree reweighting fixes it.
+"""
+
+import numpy as np
+
+from repro import NRP, ApproxPPREmbedder
+from repro.graph import figure1_graph
+from repro.ppr import ppr_matrix_dense
+
+
+def main() -> None:
+    graph = figure1_graph()
+    print(f"Graph: {graph}")
+    print(f"Degrees: {graph.out_degrees.tolist()}")
+
+    # --- exact PPR (Table 1 of the paper) -----------------------------
+    pi = ppr_matrix_dense(graph, alpha=0.15)
+    print("\nExact PPR rows (alpha = 0.15):")
+    for src in (1, 8):                       # v2 and v9 in paper notation
+        row = ", ".join(f"{v:.3f}" for v in pi[src])
+        print(f"  pi(v{src + 1}, .) = [{row}]")
+    print(f"\nVanilla PPR ranks (v9,v7)={pi[8, 6]:.3f} above "
+          f"(v2,v4)={pi[1, 3]:.3f} - the paper's counter-intuitive case:")
+    print("  v2 and v4 share three neighbors; v9 and v7 share only one.")
+
+    # --- embeddings ----------------------------------------------------
+    base = ApproxPPREmbedder(dim=8, svd="exact", seed=0).fit(graph)
+    nrp = NRP(dim=8, svd="exact", lam=0.1, seed=0).fit(graph)
+
+    def describe(name, model):
+        s24 = model.score_pairs([1], [3])[0]     # (v2, v4)
+        s97 = model.score_pairs([8], [6])[0]     # (v9, v7)
+        winner = "(v2,v4)" if s24 > s97 else "(v9,v7)"
+        print(f"  {name:10s} score(v2,v4)={s24:+.4f} "
+              f"score(v9,v7)={s97:+.4f} -> predicts {winner}")
+
+    print("\nLink-prediction scores (forward . backward):")
+    describe("ApproxPPR", base)
+    describe("NRP", nrp)
+
+    print("\nLearned NRP node weights (forward):")
+    print("  " + np.array2string(np.round(nrp.w_fwd_, 2)))
+    print("High-degree hub nodes (v3, v5) get the largest weights - the")
+    print("degree calibration of Eq. (5) in action.")
+
+    # --- feature vectors for downstream ML -----------------------------
+    feats = nrp.node_features()
+    print(f"\nnode_features() -> {feats.shape} matrix "
+          f"(normalized forward || backward), ready for classifiers.")
+
+
+if __name__ == "__main__":
+    main()

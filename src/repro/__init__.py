@@ -1,0 +1,27 @@
+"""NRP: Homogeneous Network Embedding via Reweighted Personalized PageRank.
+
+A full reproduction of Yang et al., PVLDB 13(5), 2020. The package
+provides the paper's contribution (:class:`repro.NRP`,
+:class:`repro.ApproxPPREmbedder`), every substrate it relies on (graphs,
+PPR solvers, randomized SVD, random walks, a small numpy neural stack),
+the 18 competitor methods of the paper's evaluation, the three
+evaluation tasks, and synthetic analogues of the paper's datasets.
+
+Quickstart::
+
+    from repro import NRP
+    from repro.datasets import load_dataset
+
+    data = load_dataset("wiki_sim")
+    model = NRP(dim=128).fit(data.graph)
+    scores = model.score_pairs([0, 1], [2, 3])
+"""
+
+from .core import NRP, ApproxPPREmbedder, NRPConfig
+from .embedder import Embedder
+from .graph import Graph, from_edges
+
+__version__ = "1.0.0"
+
+__all__ = ["NRP", "NRPConfig", "ApproxPPREmbedder", "Embedder", "Graph",
+           "from_edges", "__version__"]

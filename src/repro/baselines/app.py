@@ -1,0 +1,60 @@
+"""APP (Zhou et al., AAAI'17): asymmetric proximity preserving embedding.
+
+APP is the PPR-random-walk method the NRP paper singles out: sample
+alpha-terminating walks and train skip-gram on *(start, stop)* pairs
+with separate source/target tables — the tables become the forward and
+backward embeddings, preserving ``pi(u, v)``'s asymmetry. NRP's Section
+1 argument (vanilla PPR is a relative measure) applies to APP directly,
+which is what the benchmarks show.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from ..neural import SGNS, unigram_noise
+from ..rng import spawn_rngs
+from ..walks import PAD, ppr_walks, walk_starts
+from .base import BaselineEmbedder, register
+
+__all__ = ["APP"]
+
+
+@register
+class APP(BaselineEmbedder):
+    """PPR-walk endpoint sampling with forward/backward SGNS tables."""
+
+    name = "APP"
+    directional = True
+    lp_scoring = "inner"
+
+    def __init__(self, dim: int = 128, *, alpha: float = 0.15,
+                 samples_per_node: int = 100, num_negatives: int = 5,
+                 epochs: int = 1, lr: float = 0.025,
+                 seed: int | None = 0) -> None:
+        super().__init__(dim, seed=seed)
+        self.alpha = alpha
+        self.samples_per_node = samples_per_node
+        self.num_negatives = num_negatives
+        self.epochs = epochs
+        self.lr = lr
+
+    def fit(self, graph: Graph) -> "APP":
+        walk_rng, train_rng, init_rng = spawn_rngs(self.seed, 3)
+        starts = walk_starts(graph, self.samples_per_node, seed=walk_rng)
+        walks = ppr_walks(graph, starts, self.alpha, seed=walk_rng)
+        # stop node = last non-PAD entry of each walk
+        lengths = (walks != PAD).sum(axis=1)
+        stops = walks[np.arange(len(walks)), lengths - 1]
+        keep = stops != starts          # self-pairs carry no signal
+        centers, contexts = starts[keep], stops[keep]
+        freq = np.bincount(contexts, minlength=graph.num_nodes)
+        model = SGNS(graph.num_nodes, self.dim // 2, shared=False,
+                     seed=init_rng)
+        model.train(centers, contexts, noise=unigram_noise(freq),
+                    epochs=self.epochs, num_negatives=self.num_negatives,
+                    lr=self.lr, seed=train_rng)
+        self.forward_ = model.input_vectors
+        self.backward_ = model.output_vectors
+        return self

@@ -1,0 +1,65 @@
+"""Baseline registry and shared conventions.
+
+Every competitor of the paper's evaluation registers itself here so the
+benchmark harness can instantiate methods by name. ``lp_scoring``
+encodes the paper's Section 5.2 link-prediction scoring rule for each
+method:
+
+* ``"inner"`` — the method's own :meth:`score_pairs` inner product
+  (factorization methods and the directional PPR family);
+* ``"edge_features"`` — concatenate the endpoints' feature vectors and
+  train a logistic-regression classifier (DeepWalk, LINE, node2vec,
+  DNGR, DRNE, GraphGAN, GraphWave);
+* ``"auto"`` — inner product on undirected graphs, edge features on
+  directed graphs (VERSE, PBG: single-vector methods that cannot
+  distinguish edge direction).
+"""
+
+from __future__ import annotations
+
+from ..embedder import Embedder
+from ..errors import ParameterError
+
+__all__ = ["BaselineEmbedder", "BASELINE_REGISTRY", "register",
+           "make_embedder", "available_methods"]
+
+BASELINE_REGISTRY: dict[str, type] = {}
+
+
+class BaselineEmbedder(Embedder):
+    """Base class for the 18 competitor methods."""
+
+    #: Link-prediction scoring convention, see module docstring.
+    lp_scoring: str = "inner"
+    #: Whether the method can exploit edge directions natively.
+    supports_directed: bool = True
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a method to :data:`BASELINE_REGISTRY`."""
+    name = getattr(cls, "name", None)
+    if not name:
+        raise ParameterError(f"{cls.__name__} must define a name")
+    BASELINE_REGISTRY[name.lower()] = cls
+    return cls
+
+
+def make_embedder(name: str, dim: int = 128, *, seed: int | None = 0,
+                  **overrides) -> Embedder:
+    """Instantiate a registered method (or NRP/ApproxPPR) by name."""
+    from ..core import NRP, ApproxPPREmbedder   # local import, avoids cycle
+
+    lowered = name.lower()
+    if lowered == "nrp":
+        return NRP(dim, seed=seed, **overrides)
+    if lowered == "approxppr":
+        return ApproxPPREmbedder(dim, seed=seed, **overrides)
+    if lowered not in BASELINE_REGISTRY:
+        raise ParameterError(f"unknown method {name!r}; "
+                             f"available: {sorted(BASELINE_REGISTRY)}")
+    return BASELINE_REGISTRY[lowered](dim, seed=seed, **overrides)
+
+
+def available_methods() -> list[str]:
+    """All method names usable with :func:`make_embedder`."""
+    return ["nrp", "approxppr", *sorted(BASELINE_REGISTRY)]

@@ -1,0 +1,54 @@
+"""DeepWalk (Perozzi et al., KDD'14): uniform walks + skip-gram.
+
+The archetypal random-walk method the paper benchmarks against. Walk
+corpus sizes default to laptop scale; the original's 80 walks x 40
+steps can be restored through the constructor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from ..neural import SGNS, unigram_noise
+from ..rng import spawn_rngs
+from ..walks import skipgram_pairs, uniform_walks, walk_starts
+from .base import BaselineEmbedder, register
+
+__all__ = ["DeepWalk"]
+
+
+@register
+class DeepWalk(BaselineEmbedder):
+    """Uniform truncated random walks trained with SGNS."""
+
+    name = "DeepWalk"
+    lp_scoring = "edge_features"
+
+    def __init__(self, dim: int = 128, *, walks_per_node: int = 10,
+                 walk_length: int = 40, window: int = 5,
+                 num_negatives: int = 5, epochs: int = 2,
+                 lr: float = 0.025, seed: int | None = 0) -> None:
+        super().__init__(dim, seed=seed)
+        self.walks_per_node = walks_per_node
+        self.walk_length = walk_length
+        self.window = window
+        self.num_negatives = num_negatives
+        self.epochs = epochs
+        self.lr = lr
+
+    def _walks(self, graph: Graph, rng) -> np.ndarray:
+        starts = walk_starts(graph, self.walks_per_node, seed=rng)
+        return uniform_walks(graph, starts, self.walk_length, seed=rng)
+
+    def fit(self, graph: Graph) -> "DeepWalk":
+        walk_rng, train_rng, init_rng = spawn_rngs(self.seed, 3)
+        walks = self._walks(graph, walk_rng)
+        centers, contexts = skipgram_pairs(walks, self.window)
+        freq = np.bincount(contexts, minlength=graph.num_nodes)
+        model = SGNS(graph.num_nodes, self.dim, seed=init_rng)
+        model.train(centers, contexts, noise=unigram_noise(freq),
+                    epochs=self.epochs, num_negatives=self.num_negatives,
+                    lr=self.lr, seed=train_rng)
+        self.embedding_ = model.input_vectors
+        return self

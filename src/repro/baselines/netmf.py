@@ -1,0 +1,51 @@
+"""NetMF: DeepWalk as explicit matrix factorization (Qiu et al., WSDM'18).
+
+Factorizes the closed-form expectation of DeepWalk's implicit matrix
+(log of the window-averaged random-walk matrix, shifted by the negative
+sampling rate). The matrix is dense — which is exactly the scalability
+wall the NRP paper points out — so this implementation guards against
+graphs above ``max_dense_nodes``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..graph import Graph
+from ..linalg import deepwalk_matrix_dense, randomized_svd
+from .base import BaselineEmbedder, register
+
+__all__ = ["NetMF"]
+
+
+@register
+class NetMF(BaselineEmbedder):
+    """Dense DeepWalk-matrix factorization; undirected, small graphs."""
+
+    name = "NetMF"
+    lp_scoring = "inner"
+    supports_directed = False
+
+    def __init__(self, dim: int = 128, *, window: int = 10,
+                 negatives: float = 1.0, max_dense_nodes: int = 20_000,
+                 seed: int | None = 0) -> None:
+        super().__init__(dim, seed=seed)
+        if window < 1:
+            raise ParameterError("window must be >= 1")
+        self.window = window
+        self.negatives = negatives
+        self.max_dense_nodes = max_dense_nodes
+
+    def fit(self, graph: Graph) -> "NetMF":
+        und = graph.as_undirected()
+        if und.num_nodes > self.max_dense_nodes:
+            raise ParameterError(
+                f"NetMF materializes a dense {und.num_nodes}^2 matrix; "
+                f"refusing beyond {self.max_dense_nodes} nodes")
+        m = deepwalk_matrix_dense(und.adjacency(), self.window,
+                                  self.negatives)
+        u, s, _ = randomized_svd(m, min(self.dim, und.num_nodes - 1),
+                                 seed=self.seed)
+        self.embedding_ = u * np.sqrt(s)[None, :]
+        return self

@@ -1,0 +1,49 @@
+"""node2vec (Grover & Leskovec, KDD'16): biased walks + skip-gram."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from ..neural import SGNS, unigram_noise
+from ..rng import spawn_rngs
+from ..walks import node2vec_walks, skipgram_pairs, walk_starts
+from .base import BaselineEmbedder, register
+
+__all__ = ["Node2Vec"]
+
+
+@register
+class Node2Vec(BaselineEmbedder):
+    """Second-order biased walks (return p, in-out q) trained with SGNS."""
+
+    name = "node2vec"
+    lp_scoring = "edge_features"
+
+    def __init__(self, dim: int = 128, *, p: float = 1.0, q: float = 1.0,
+                 walks_per_node: int = 10, walk_length: int = 40,
+                 window: int = 5, num_negatives: int = 5, epochs: int = 2,
+                 lr: float = 0.025, seed: int | None = 0) -> None:
+        super().__init__(dim, seed=seed)
+        self.p = p
+        self.q = q
+        self.walks_per_node = walks_per_node
+        self.walk_length = walk_length
+        self.window = window
+        self.num_negatives = num_negatives
+        self.epochs = epochs
+        self.lr = lr
+
+    def fit(self, graph: Graph) -> "Node2Vec":
+        walk_rng, train_rng, init_rng = spawn_rngs(self.seed, 3)
+        starts = walk_starts(graph, self.walks_per_node, seed=walk_rng)
+        walks = node2vec_walks(graph, starts, self.walk_length,
+                               p=self.p, q=self.q, seed=walk_rng)
+        centers, contexts = skipgram_pairs(walks, self.window)
+        freq = np.bincount(contexts, minlength=graph.num_nodes)
+        model = SGNS(graph.num_nodes, self.dim, seed=init_rng)
+        model.train(centers, contexts, noise=unigram_noise(freq),
+                    epochs=self.epochs, num_negatives=self.num_negatives,
+                    lr=self.lr, seed=train_rng)
+        self.embedding_ = model.input_vectors
+        return self

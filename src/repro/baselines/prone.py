@@ -1,0 +1,64 @@
+"""ProNE: fast factorization + spectral propagation (Zhang et al., IJCAI'19).
+
+Two stages, both reproduced:
+
+1. *Sparse matrix factorization*: randomized SVD of the transition
+   matrix gives the initial embedding (their ``r_hat`` step).
+2. *Spectral propagation*: the embedding is filtered by a band-pass
+   Gaussian ``g(lambda) = exp(-theta/2 ((lambda - mu)^2 - 1))`` of the
+   normalized Laplacian, evaluated with our Chebyshev substrate — this
+   is the step that makes ProNE strong on node classification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import Graph
+from ..linalg import (apply_chebyshev_filter, chebyshev_coefficients,
+                      randomized_svd)
+from .base import BaselineEmbedder, register
+
+__all__ = ["ProNE"]
+
+
+@register
+class ProNE(BaselineEmbedder):
+    """rSVD bootstrap + Chebyshev Gaussian filter; undirected."""
+
+    name = "ProNE"
+    lp_scoring = "inner"
+    supports_directed = False
+
+    def __init__(self, dim: int = 128, *, mu: float = 0.2, theta: float = 0.5,
+                 order: int = 10, seed: int | None = 0) -> None:
+        super().__init__(dim, seed=seed)
+        self.mu = mu
+        self.theta = theta
+        self.order = order
+
+    def fit(self, graph: Graph) -> "ProNE":
+        und = graph.as_undirected()
+        n = und.num_nodes
+        # stage 1: factorize the (row-normalized) adjacency
+        p = und.transition_matrix()
+        u, s, _ = randomized_svd(p, min(self.dim, n - 1), seed=self.seed)
+        base = u * np.sqrt(s)[None, :]
+
+        # stage 2: band-pass filter of the normalized Laplacian
+        a = und.adjacency()
+        deg = np.asarray(a.sum(axis=1)).ravel()
+        inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-12)), 0.0)
+        sym = sp.diags(inv_sqrt) @ a @ sp.diags(inv_sqrt)
+        laplacian = sp.identity(n, format="csr") - sym
+
+        def filt(lam: np.ndarray) -> np.ndarray:
+            return np.exp(-0.5 * ((lam - self.mu) ** 2 - 1.0) * self.theta)
+
+        coeffs = chebyshev_coefficients(filt, self.order, (0.0, 2.0))
+        smoothed = apply_chebyshev_filter(lambda v: laplacian @ v, base,
+                                          coeffs, (0.0, 2.0))
+        # ProNE re-couples the filtered signal through D^-1 A
+        self.embedding_ = np.asarray(p @ smoothed)
+        return self

@@ -1,0 +1,57 @@
+"""VERSE (Tsitsulin et al., WWW'18): PPR-similarity single-vector embedding.
+
+Same alpha-terminating walk sampling as APP but with a *single* (tied)
+embedding table — the design choice the NRP paper criticizes on
+directed graphs, since one vector per node cannot represent asymmetric
+transitivity. Accordingly ``lp_scoring = "auto"``: inner product on
+undirected graphs, edge-features logistic regression on directed ones
+(paper Section 5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from ..neural import SGNS, unigram_noise
+from ..rng import spawn_rngs
+from ..walks import PAD, ppr_walks, walk_starts
+from .base import BaselineEmbedder, register
+
+__all__ = ["VERSE"]
+
+
+@register
+class VERSE(BaselineEmbedder):
+    """Tied-table SGNS on PPR walk endpoints."""
+
+    name = "VERSE"
+    lp_scoring = "auto"
+
+    def __init__(self, dim: int = 128, *, alpha: float = 0.15,
+                 samples_per_node: int = 100, num_negatives: int = 3,
+                 epochs: int = 1, lr: float = 0.0025,
+                 seed: int | None = 0) -> None:
+        super().__init__(dim, seed=seed)
+        self.alpha = alpha
+        self.samples_per_node = samples_per_node
+        self.num_negatives = num_negatives
+        self.epochs = epochs
+        self.lr = lr
+
+    def fit(self, graph: Graph) -> "VERSE":
+        walk_rng, train_rng, init_rng = spawn_rngs(self.seed, 3)
+        starts = walk_starts(graph, self.samples_per_node, seed=walk_rng)
+        walks = ppr_walks(graph, starts, self.alpha, seed=walk_rng)
+        lengths = (walks != PAD).sum(axis=1)
+        stops = walks[np.arange(len(walks)), lengths - 1]
+        keep = stops != starts
+        centers, contexts = starts[keep], stops[keep]
+        model = SGNS(graph.num_nodes, self.dim, shared=True, seed=init_rng)
+        # VERSE samples negatives uniformly
+        noise = unigram_noise(np.ones(graph.num_nodes), power=1.0)
+        model.train(centers, contexts, noise=noise, epochs=self.epochs,
+                    num_negatives=self.num_negatives, lr=self.lr,
+                    seed=train_rng)
+        self.embedding_ = model.input_vectors
+        return self

@@ -1,0 +1,13 @@
+"""Benchmark harness: scale control, method overrides, result tables."""
+
+from .harness import (BENCH_OVERRIDES, FULL_METHOD_SET, SMALL_METHOD_SET,
+                      FitResult, bench_scale, build_method, evolving_auc,
+                      fit_timed, link_prediction_auc, load_bench_dataset)
+from .tables import format_series_block, format_table
+
+__all__ = [
+    "bench_scale", "load_bench_dataset", "BENCH_OVERRIDES", "build_method",
+    "FitResult", "fit_timed", "link_prediction_auc", "evolving_auc",
+    "SMALL_METHOD_SET", "FULL_METHOD_SET",
+    "format_table", "format_series_block",
+]

@@ -1,0 +1,42 @@
+"""Paper-style ASCII tables and series for the benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series_block"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 *, float_fmt: str = "{:.4f}") -> str:
+    """Left-aligned first column, right-aligned numeric columns."""
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+        return "  ".join(parts)
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out += [line(row) for row in str_rows]
+    return "\n".join(out)
+
+
+def format_series_block(title: str, x_label: str, xs: Sequence,
+                        series: dict[str, Sequence[float]],
+                        *, float_fmt: str = "{:.4f}") -> str:
+    """One figure's data as a table: methods as rows, x values as columns."""
+    headers = [x_label, *[str(x) for x in xs]]
+    rows = [[name, *values] for name, values in series.items()]
+    table = format_table(headers, rows, float_fmt=float_fmt)
+    bar = "=" * max(len(title), len(table.split("\n", 1)[0]))
+    return f"\n{bar}\n{title}\n{bar}\n{table}\n"

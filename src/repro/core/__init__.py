@@ -1,0 +1,21 @@
+"""The paper's contribution: ApproxPPR (Alg. 1) and NRP (Alg. 2-4)."""
+
+from .approx_ppr import ApproxPPRConfig, approx_ppr_embeddings, theorem1_bound
+from .attributed import AttributedNRP, augment_with_attributes
+from .nrp import NRP, ApproxPPREmbedder, NRPConfig
+from .objective import reweighting_objective, strength_vectors
+from .reweighting import (BackwardAggregates, ForwardAggregates,
+                          backward_aggregates, forward_aggregates,
+                          naive_backward_terms, naive_forward_terms,
+                          update_backward_weights, update_forward_weights)
+
+__all__ = [
+    "ApproxPPRConfig", "approx_ppr_embeddings", "theorem1_bound",
+    "NRP", "NRPConfig", "ApproxPPREmbedder",
+    "AttributedNRP", "augment_with_attributes",
+    "reweighting_objective", "strength_vectors",
+    "BackwardAggregates", "ForwardAggregates",
+    "backward_aggregates", "forward_aggregates",
+    "update_backward_weights", "update_forward_weights",
+    "naive_backward_terms", "naive_forward_terms",
+]

@@ -1,0 +1,101 @@
+"""Algorithm 1 of the paper: ApproxPPR.
+
+Factorizes the truncated PPR matrix ``Pi' = sum_{i=1..ell1}
+alpha (1-alpha)^i P^i`` into forward embeddings ``X`` and backward
+embeddings ``Y`` (``X @ Y.T ~= Pi'``) without ever materializing an
+``n x n`` matrix:
+
+1. ``U, Sigma, V = BKSVD(A, k', eps)``            (randomized SVD of A)
+2. ``X_1 = D^-1 U sqrt(Sigma)``, ``Y = V sqrt(Sigma)``
+   so that ``X_1 @ Y.T ~= D^-1 A = P``
+3. ``X_i = (1 - alpha) P X_{i-1} + X_1`` for ``i = 2..ell1``
+4. ``X = alpha (1 - alpha) X_ell1``
+
+Theorem 1 bounds the entrywise error by
+``(1+eps) sigma_{k'+1} (1-alpha)(1-(1-alpha)^ell1) + (1-alpha)^(ell1+1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..graph import Graph
+from ..linalg import bksvd, randomized_svd
+from ..rng import ensure_rng
+
+__all__ = ["ApproxPPRConfig", "approx_ppr_embeddings", "theorem1_bound"]
+
+
+@dataclass(frozen=True)
+class ApproxPPRConfig:
+    """Inputs of Algorithm 1 (names follow the paper).
+
+    ``k_prime`` is the per-side dimensionality ``k' = k/2``; the paper's
+    defaults are ``alpha=0.15, ell1=20, eps=0.2``.
+    """
+
+    k_prime: int
+    alpha: float = 0.15
+    ell1: int = 20
+    eps: float = 0.2
+    svd: str = "bksvd"           # "bksvd" | "rsvd" | "exact"
+    seed: int | None = 0
+
+    def validate(self) -> None:
+        if self.k_prime < 1:
+            raise ParameterError("k_prime must be >= 1")
+        if not 0.0 < self.alpha < 1.0:
+            raise ParameterError("alpha must be in (0, 1)")
+        if self.ell1 < 1:
+            raise ParameterError("ell1 must be >= 1")
+        if self.eps <= 0:
+            raise ParameterError("eps must be positive")
+        if self.svd not in ("bksvd", "rsvd", "exact"):
+            raise ParameterError(f"unknown svd backend {self.svd!r}")
+
+
+def _factorize_adjacency(graph: Graph, config: ApproxPPRConfig,
+                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    adjacency = graph.adjacency()
+    rng = ensure_rng(config.seed)
+    if config.svd == "bksvd":
+        return bksvd(adjacency, config.k_prime, eps=config.eps, seed=rng)
+    if config.svd == "rsvd":
+        return randomized_svd(adjacency, config.k_prime, seed=rng)
+    dense = adjacency.toarray()
+    u, s, vt = np.linalg.svd(dense, full_matrices=False)
+    return u[:, :config.k_prime], s[:config.k_prime], vt[:config.k_prime].T
+
+
+def approx_ppr_embeddings(graph: Graph, config: ApproxPPRConfig,
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Run Algorithm 1; returns ``(X, Y)`` with ``X @ Y.T ~= Pi'``."""
+    config.validate()
+    if config.k_prime > graph.num_nodes:
+        raise ParameterError("k_prime cannot exceed the number of nodes")
+    u, sigma, v = _factorize_adjacency(graph, config)
+    sqrt_sigma = np.sqrt(np.maximum(sigma, 0.0))
+    d_inv = graph.out_degree_inverse()
+    x1 = d_inv[:, None] * u * sqrt_sigma[None, :]
+    y = v * sqrt_sigma[None, :]
+
+    p = graph.transition_matrix()
+    x = x1.copy()
+    for _ in range(2, config.ell1 + 1):
+        x = (1.0 - config.alpha) * (p @ x) + x1
+    x *= config.alpha * (1.0 - config.alpha)
+    return x, y
+
+
+def theorem1_bound(sigma_next: float, alpha: float, ell1: int,
+                   eps: float) -> float:
+    """The entrywise error bound of Theorem 1.
+
+    ``sigma_next`` is the ``(k'+1)``-th largest singular value of ``A``.
+    """
+    decay = 1.0 - alpha
+    return ((1.0 + eps) * sigma_next * decay * (1.0 - decay ** ell1)
+            + decay ** (ell1 + 1))

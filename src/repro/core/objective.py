@@ -1,0 +1,54 @@
+"""The node-reweighting objective of Eq. (6).
+
+``O(w_fwd, w_bwd)`` penalizes the gap between each node's reweighted
+total connection strength and its degree:
+
+    sum_v ( in_strength(v)  - d_in(v)  )^2
+  + sum_u ( out_strength(u) - d_out(u) )^2
+  + lambda * (||w_fwd||^2 + ||w_bwd||^2)
+
+where ``in_strength(v) = sum_{u != v} w_fwd[u] X_u . Y_v * w_bwd[v]`` and
+symmetrically for ``out_strength``. Evaluating it exactly costs only
+``O(n k')`` thanks to the shared sums ``chi = sum_u w_fwd[u] X_u`` and
+``chi_b = sum_v w_bwd[v] Y_v``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DimensionError
+
+__all__ = ["reweighting_objective", "strength_vectors"]
+
+
+def _check(x: np.ndarray, y: np.ndarray, w_fwd: np.ndarray,
+           w_bwd: np.ndarray) -> None:
+    if x.shape != y.shape:
+        raise DimensionError("X and Y must have identical shapes")
+    n = x.shape[0]
+    if w_fwd.shape != (n,) or w_bwd.shape != (n,):
+        raise DimensionError("weight vectors must have length n")
+
+
+def strength_vectors(x: np.ndarray, y: np.ndarray, w_fwd: np.ndarray,
+                     w_bwd: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-node total (out_strength, in_strength), excluding self pairs."""
+    _check(x, y, w_fwd, w_bwd)
+    chi_f = w_fwd @ x                       # sum_u w_fwd[u] X_u
+    chi_b = w_bwd @ y                       # sum_v w_bwd[v] Y_v
+    xy_diag = np.einsum("ij,ij->i", x, y)   # X_v . Y_v
+    in_strength = w_bwd * (y @ chi_f - w_fwd * xy_diag)
+    out_strength = w_fwd * (x @ chi_b - w_bwd * xy_diag)
+    return out_strength, in_strength
+
+
+def reweighting_objective(x: np.ndarray, y: np.ndarray, w_fwd: np.ndarray,
+                          w_bwd: np.ndarray, d_out: np.ndarray,
+                          d_in: np.ndarray, lam: float) -> float:
+    """Evaluate Eq. (6) exactly in ``O(n k')``."""
+    out_strength, in_strength = strength_vectors(x, y, w_fwd, w_bwd)
+    gap_in = in_strength - d_in
+    gap_out = out_strength - d_out
+    reg = lam * (float(w_fwd @ w_fwd) + float(w_bwd @ w_bwd))
+    return float(gap_in @ gap_in) + float(gap_out @ gap_out) + reg

@@ -1,0 +1,13 @@
+"""Synthetic analogues of the paper's datasets (Tables 3 and 4)."""
+
+from .evolving import (EVOLVING_SPECS, EvolvingDataset,
+                       evolving_dataset_names, load_evolving_dataset)
+from .registry import (DATASET_SPECS, Dataset, DatasetSpec, dataset_names,
+                       format_dataset_table, load_dataset)
+
+__all__ = [
+    "Dataset", "DatasetSpec", "DATASET_SPECS", "load_dataset",
+    "dataset_names", "format_dataset_table",
+    "EvolvingDataset", "EVOLVING_SPECS", "load_evolving_dataset",
+    "evolving_dataset_names",
+]

@@ -1,0 +1,124 @@
+"""Evolving-graph analogues of VK and Digg (paper Table 4 / Figure 9).
+
+The paper's Appendix C evaluates link prediction on *real future
+edges*: embed the old snapshot ``E_old`` and predict ``E_new``. Our
+substitution generates ``E_old`` with the usual community generator and
+grows ``E_new`` by *triadic closure*: future edges are sampled from
+2-hop wedge endpoints (plus a small random component), matching the
+empirical fact that new friendships concentrate around mutual friends —
+the same signal the paper's Figure 1 argument builds on, so the
+experiment stresses exactly what it does on VK/Digg.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..graph import Graph, powerlaw_community
+from ..rng import ensure_rng
+
+__all__ = ["EvolvingDataset", "EVOLVING_SPECS", "load_evolving_dataset",
+           "evolving_dataset_names"]
+
+
+@dataclass(frozen=True)
+class EvolvingDataset:
+    """Old snapshot plus held-out future edges."""
+
+    name: str
+    old_graph: Graph
+    new_src: np.ndarray
+    new_dst: np.ndarray
+
+    @property
+    def num_new_edges(self) -> int:
+        return len(self.new_src)
+
+
+#: name -> (nodes, old edges, new/old ratio, directed, seed)
+EVOLVING_SPECS: dict[str, tuple[int, int, float, bool, int]] = {
+    "vk_sim": (6_000, 120_000, 1.0, False, 201),     # paper: 2.68M/2.67M
+    "digg_sim": (9_000, 60_000, 0.68, True, 202),    # paper: 1.03M/702K
+}
+
+
+def evolving_dataset_names() -> list[str]:
+    return list(EVOLVING_SPECS)
+
+
+def _triadic_new_edges(graph: Graph, count: int, rng: np.random.Generator,
+                       random_fraction: float = 0.15,
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` future (non-)edges biased toward open wedges."""
+    n = graph.num_nodes
+    src_all, _ = graph.arcs()
+    keys = np.sort(src_all * np.int64(n) + graph.arcs()[1])
+    degrees = graph.out_degrees
+    out_src: list[np.ndarray] = []
+    out_dst: list[np.ndarray] = []
+    seen = np.empty(0, dtype=np.int64)
+    have = 0
+    while have < count:
+        want = int((count - have) * 1.6) + 32
+        num_random = int(want * random_fraction)
+        num_wedge = want - num_random
+        # wedges: u -> w -> v via two uniform steps
+        u = rng.integers(0, n, size=num_wedge)
+        ok = degrees[u] > 0
+        u = u[ok]
+        off = (rng.random(len(u)) * degrees[u]).astype(np.int64)
+        w = graph.indices[graph.indptr[u] + off]
+        ok = degrees[w] > 0
+        u, w = u[ok], w[ok]
+        off = (rng.random(len(u)) * degrees[w]).astype(np.int64)
+        v = graph.indices[graph.indptr[w] + off]
+        ru = rng.integers(0, n, size=num_random)
+        rv = rng.integers(0, n, size=num_random)
+        s = np.concatenate([u, ru])
+        d = np.concatenate([v, rv])
+        ok = s != d
+        s, d = s[ok], d[ok]
+        if not graph.directed:
+            s, d = np.minimum(s, d), np.maximum(s, d)
+        cand = s * np.int64(n) + d
+        # must not already be an edge
+        pos = np.searchsorted(keys, cand)
+        pos = np.minimum(pos, len(keys) - 1)
+        cand = cand[keys[pos] != cand]
+        cand = np.unique(cand)
+        cand = np.setdiff1d(cand, seen, assume_unique=True)
+        seen = np.union1d(seen, cand)
+        out_src.append(cand // n)
+        out_dst.append(cand % n)
+        have = sum(len(x) for x in out_src)
+    src = np.concatenate(out_src)[:count]
+    dst = np.concatenate(out_dst)[:count]
+    return src, dst
+
+
+@lru_cache(maxsize=8)
+def _load_cached(name: str, scale: float) -> EvolvingDataset:
+    if name not in EVOLVING_SPECS:
+        raise ParameterError(f"unknown evolving dataset {name!r}; "
+                             f"available: {evolving_dataset_names()}")
+    nodes, old_edges, ratio, directed, seed = EVOLVING_SPECS[name]
+    nodes = max(64, int(nodes * scale))
+    old_edges = max(2 * nodes, int(old_edges * scale))
+    rng = ensure_rng(seed)
+    graph, _ = powerlaw_community(nodes, old_edges, num_communities=25,
+                                  mixing=0.2, directed=directed, seed=rng)
+    new_count = max(1, int(graph.num_edges * ratio * 0.1))
+    # 10% of the paper's new/old ratio keeps evaluation quick; the AUC
+    # comparison between methods is invariant to the test-set size.
+    new_src, new_dst = _triadic_new_edges(graph, new_count, rng)
+    return EvolvingDataset(name=name, old_graph=graph,
+                           new_src=new_src, new_dst=new_dst)
+
+
+def load_evolving_dataset(name: str, *, scale: float = 1.0) -> EvolvingDataset:
+    """Load (and cache) an evolving-graph analogue by name."""
+    return _load_cached(name, float(scale))

@@ -1,0 +1,132 @@
+"""Synthetic analogues of the paper's seven datasets (Table 3).
+
+The real graphs (Wiki ... Friendster, up to 1.8B edges) are not
+available offline, so each is simulated by an LFR-style power-law
+community graph (:func:`repro.graph.generators.powerlaw_community`)
+matched in directedness, relative density and label count, at laptop
+scale. The ``scale`` knob multiplies node/edge counts so the same specs
+drive both quick tests and larger runs (``REPRO_BENCH_SCALE`` in the
+benchmark harness).
+
+Labels follow the paper's datasets: community-correlated multilabel
+memberships for the four classification graphs, none for
+Twitter/Friendster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..graph import Graph, community_labels, powerlaw_community
+from ..rng import ensure_rng
+
+__all__ = ["Dataset", "DatasetSpec", "DATASET_SPECS", "load_dataset",
+           "dataset_names", "format_dataset_table"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Generator recipe for one synthetic analogue."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    directed: bool
+    num_labels: int | None
+    num_communities: int
+    mixing: float
+    exponent: float
+    seed: int
+    paper_nodes: str
+    paper_edges: str
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        if scale <= 0:
+            raise ParameterError("scale must be positive")
+        n = max(64, int(self.num_nodes * scale))
+        m = max(2 * n, int(self.num_edges * scale))
+        return DatasetSpec(self.name, n, m, self.directed, self.num_labels,
+                           self.num_communities, self.mixing, self.exponent,
+                           self.seed, self.paper_nodes, self.paper_edges)
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A loaded dataset: graph + (optional) labels + provenance."""
+
+    name: str
+    graph: Graph
+    membership: np.ndarray | None       # (n, L) binary, or None
+    community: np.ndarray | None
+    spec: DatasetSpec
+
+    @property
+    def num_labels(self) -> int:
+        return 0 if self.membership is None else self.membership.shape[1]
+
+
+#: Default (scale = 1.0) sizes keep every analogue laptop-quick while
+#: preserving Table 3's ordering of sizes and densities.
+DATASET_SPECS: dict[str, DatasetSpec] = {spec.name: spec for spec in [
+    DatasetSpec("wiki_sim", 2_400, 46_000, True, 20, 60, 0.1, 2.3, 101,
+                "4.78K", "184.81K"),
+    DatasetSpec("blog_sim", 5_000, 82_000, False, 25, 60, 0.1, 2.4, 102,
+                "10.31K", "333.98K"),
+    DatasetSpec("youtube_sim", 22_000, 60_000, False, 25, 120, 0.15, 2.5, 103,
+                "1.13M", "2.99M"),
+    DatasetSpec("tweibo_sim", 30_000, 330_000, True, 40, 150, 0.15, 2.4, 104,
+                "2.32M", "50.65M"),
+    DatasetSpec("orkut_sim", 26_000, 400_000, False, 50, 150, 0.1, 2.5, 105,
+                "3.1M", "234M"),
+    DatasetSpec("twitter_sim", 60_000, 700_000, True, None, 200, 0.2, 2.2,
+                106, "41.6M", "1.2B"),
+    DatasetSpec("friendster_sim", 60_000, 700_000, False, None, 200, 0.2, 2.5,
+                107, "65.6M", "1.8B"),
+]}
+
+
+def dataset_names() -> list[str]:
+    """Names accepted by :func:`load_dataset`, in Table 3 order."""
+    return list(DATASET_SPECS)
+
+
+@lru_cache(maxsize=16)
+def _load_cached(name: str, scale: float) -> Dataset:
+    if name not in DATASET_SPECS:
+        raise ParameterError(f"unknown dataset {name!r}; "
+                             f"available: {dataset_names()}")
+    spec = DATASET_SPECS[name].scaled(scale)
+    rng = ensure_rng(spec.seed)
+    graph, community = powerlaw_community(
+        spec.num_nodes, spec.num_edges,
+        num_communities=spec.num_communities, mixing=spec.mixing,
+        exponent=spec.exponent, directed=spec.directed, seed=rng)
+    membership = None
+    if spec.num_labels:
+        membership = community_labels(community, spec.num_labels, seed=rng)
+    return Dataset(name=name, graph=graph, membership=membership,
+                   community=community, spec=spec)
+
+
+def load_dataset(name: str, *, scale: float = 1.0) -> Dataset:
+    """Load (and cache) a synthetic analogue by name."""
+    return _load_cached(name, float(scale))
+
+
+def format_dataset_table(scale: float = 1.0) -> str:
+    """A Table-3-style statistics table for the loaded analogues."""
+    lines = [f"{'Name':<16}{'|V|':>10}{'|E|':>12}{'Type':>12}{'#labels':>9}"
+             f"{'paper |V|':>12}{'paper |E|':>12}"]
+    for name in dataset_names():
+        data = load_dataset(name, scale=scale)
+        g = data.graph
+        kind = "directed" if g.directed else "undirected"
+        labels = str(data.num_labels) if data.membership is not None else "-"
+        lines.append(f"{name:<16}{g.num_nodes:>10}{g.num_edges:>12}"
+                     f"{kind:>12}{labels:>9}"
+                     f"{data.spec.paper_nodes:>12}{data.spec.paper_edges:>12}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Common interface for every embedding method in the package.
+
+Two families exist, mirroring the paper's Section 5.2 scoring rules:
+
+* *directional* methods (NRP, ApproxPPR, APP, STRAP, GA) produce a
+  forward matrix ``X`` and a backward matrix ``Y`` of ``dim/2`` columns
+  each; a pair ``(u, v)`` is scored by ``X_u . Y_v``;
+* *single-vector* methods produce one ``dim``-column matrix ``Z`` and
+  score pairs by ``Z_u . Z_v``.
+
+For feature-based tasks (node classification, edge-features link
+prediction) :meth:`Embedder.node_features` returns one row per node:
+directional methods L2-normalize and concatenate their two vectors, as
+the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .errors import ParameterError, ReproError
+from .graph import Graph
+from .ml.preprocess import normalize_rows
+
+__all__ = ["Embedder"]
+
+
+class Embedder(ABC):
+    """Base class: construct with hyperparameters, then :meth:`fit` a graph."""
+
+    #: Human-readable method name used in benchmark tables.
+    name: str = "embedder"
+    #: Whether the method emits separate forward/backward embeddings.
+    directional: bool = False
+
+    def __init__(self, dim: int = 128, *, seed: int | None = 0) -> None:
+        if dim < 2:
+            raise ParameterError("dim must be >= 2")
+        if self.directional and dim % 2:
+            raise ParameterError("directional methods need an even dim")
+        self.dim = dim
+        self.seed = seed
+        self.embedding_: np.ndarray | None = None
+        self.forward_: np.ndarray | None = None
+        self.backward_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def fit(self, graph: Graph) -> "Embedder":
+        """Compute embeddings for ``graph``; returns ``self``."""
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if self.directional:
+            if self.forward_ is None or self.backward_ is None:
+                raise ReproError(f"{self.name}: call fit() first")
+        elif self.embedding_ is None:
+            raise ReproError(f"{self.name}: call fit() first")
+
+    def node_features(self) -> np.ndarray:
+        """Per-node feature rows for classifier-based tasks."""
+        self._require_fitted()
+        if self.directional:
+            return np.hstack([normalize_rows(self.forward_),
+                              normalize_rows(self.backward_)])
+        return self.embedding_
+
+    def score_pairs(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """The method's native proximity score for node pairs."""
+        self._require_fitted()
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if self.directional:
+            return np.einsum("ij,ij->i", self.forward_[src],
+                             self.backward_[dst])
+        return np.einsum("ij,ij->i", self.embedding_[src],
+                         self.embedding_[dst])
+
+    def score_all_from(self, src: int) -> np.ndarray:
+        """Scores of ``(src, v)`` for every node ``v`` (reconstruction)."""
+        self._require_fitted()
+        if self.directional:
+            return self.backward_ @ self.forward_[src]
+        return self.embedding_ @ self.embedding_[src]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(dim={self.dim})"

@@ -1,0 +1,26 @@
+"""Exception types shared across the :mod:`repro` package.
+
+Keeping a small, explicit hierarchy lets callers catch broad categories
+(``ReproError``) or precise failures (``GraphFormatError``) without string
+matching.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphFormatError(ReproError):
+    """An edge list / adjacency input violates the documented format."""
+
+
+class ParameterError(ReproError):
+    """A user-supplied hyperparameter is outside its valid range."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to make progress within its budget."""
+
+
+class DimensionError(ReproError):
+    """Array shapes passed to an API are inconsistent with each other."""

@@ -1,0 +1,25 @@
+"""Graph substrate: CSR graphs, constructors, generators, labels, splits."""
+
+from .build import from_edges, from_scipy, read_edge_list, write_edge_list
+from .example import FIGURE1_EDGES, TABLE1_PPR, figure1_graph
+from .generators import (barabasi_albert, chung_lu, erdos_renyi,
+                         powerlaw_community, powerlaw_weights, rmat, sbm,
+                         watts_strogatz)
+from .graph import Graph
+from .labels import community_labels, labels_to_membership
+from .ops import (arc_ids, arc_index_of, largest_connected_component,
+                  remove_arcs, subgraph)
+from .splits import (LinkPredictionSplit, link_prediction_split,
+                     sample_non_edges, train_test_nodes)
+
+__all__ = [
+    "Graph", "from_edges", "from_scipy", "read_edge_list", "write_edge_list",
+    "figure1_graph", "FIGURE1_EDGES", "TABLE1_PPR",
+    "erdos_renyi", "chung_lu", "powerlaw_community", "powerlaw_weights",
+    "sbm", "barabasi_albert", "watts_strogatz", "rmat",
+    "community_labels", "labels_to_membership",
+    "arc_ids", "arc_index_of", "remove_arcs", "subgraph",
+    "largest_connected_component",
+    "LinkPredictionSplit", "link_prediction_split", "sample_non_edges",
+    "train_test_nodes",
+]

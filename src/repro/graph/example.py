@@ -1,0 +1,50 @@
+"""The 9-node example graph of Figure 1 in the paper.
+
+The paper never lists the edge set explicitly; it was reconstructed from
+three constraints and validated against the paper's own numbers:
+
+* the degree sequence implied by Example 2's initial forward weights
+  (``w = dout = [3, 3, 4, 3, 4, 2, 2, 2, 1]``),
+* "between v2 and v4 there are three different nodes connecting them,
+  i.e. v1, v3 and v5" and "only one common neighbor between v9 and v7",
+* the exact PPR rows of Table 1 (rows v2, v4, v9 match to 3 decimals;
+  the paper's v7 row violates the reversibility identity
+  ``d(u) pi(u,v) = d(v) pi(v,u)`` and is a known erratum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .build import from_edges
+from .graph import Graph
+
+__all__ = ["figure1_graph", "FIGURE1_EDGES", "TABLE1_PPR"]
+
+#: Undirected edges of Figure 1, using 0-based node ids (paper uses v1..v9).
+FIGURE1_EDGES: tuple[tuple[int, int], ...] = (
+    (0, 1), (0, 2), (0, 3),          # v1-v2, v1-v3, v1-v4
+    (1, 2), (1, 4),                  # v2-v3, v2-v5
+    (2, 3), (2, 4),                  # v3-v4, v3-v5
+    (3, 4),                          # v4-v5
+    (4, 5),                          # v5-v6
+    (5, 6),                          # v6-v7
+    (6, 7),                          # v7-v8
+    (7, 8),                          # v8-v9
+)
+
+#: Table 1 of the paper: exact PPR rows for sources v2, v4, v7, v9 (alpha=0.15).
+#: The v7 row is reproduced as printed even though it is internally
+#: inconsistent (see module docstring); tests compare against v2/v4/v9 only.
+TABLE1_PPR: dict[int, tuple[float, ...]] = {
+    1: (0.15, 0.269, 0.188, 0.118, 0.17, 0.048, 0.029, 0.019, 0.008),
+    3: (0.15, 0.118, 0.188, 0.269, 0.17, 0.048, 0.029, 0.019, 0.008),
+    6: (0.036, 0.043, 0.056, 0.043, 0.093, 0.137, 0.29, 0.187, 0.12),
+    8: (0.02, 0.024, 0.031, 0.024, 0.056, 0.083, 0.168, 0.311, 0.282),
+}
+
+
+def figure1_graph() -> Graph:
+    """Return the undirected 9-node graph of the paper's Figure 1."""
+    edges = np.asarray(FIGURE1_EDGES, dtype=np.int64)
+    return from_edges(9, edges[:, 0], edges[:, 1], directed=False)

@@ -1,0 +1,182 @@
+"""Immutable compressed-sparse-row graph used by every subsystem.
+
+The paper's algorithms consume three matrices of an input graph G
+(Table 2 of the paper): the adjacency matrix ``A``, the diagonal
+out-degree matrix ``D`` and the transition matrix ``P = D^-1 A``.
+:class:`Graph` stores the out-adjacency in CSR form (two numpy arrays)
+and materializes ``A``/``P`` as :mod:`scipy.sparse` matrices on demand.
+
+Undirected graphs are stored, as in the paper (Section 3.1), by
+replacing each undirected edge {u, v} with the two arcs (u, v) and
+(v, u); ``Graph.num_edges`` reports undirected edge count while
+``Graph.num_arcs`` reports stored arcs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import GraphFormatError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A fixed graph over nodes ``0 .. n-1`` with CSR out-adjacency.
+
+    Parameters
+    ----------
+    indptr, indices:
+        Standard CSR row pointer (length ``n+1``) and column index
+        (length ``num_arcs``) arrays. Within each row the indices must
+        be sorted and unique (checked when ``validate=True``).
+    directed:
+        Whether the graph is directed. For undirected graphs the arc
+        set must be symmetric; this is the caller's responsibility
+        (use :func:`repro.graph.build.from_edges`).
+    """
+
+    __slots__ = ("indptr", "indices", "directed", "_in_degrees", "_transpose")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, *,
+                 directed: bool, validate: bool = False) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.directed = bool(directed)
+        self._in_degrees: np.ndarray | None = None
+        self._transpose: "Graph | None" = None
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored directed arcs (2x edges for undirected graphs)."""
+        return len(self.indices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges as a user counts them (undirected edges counted once)."""
+        return self.num_arcs if self.directed else self.num_arcs // 2
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """``d_out(v)`` for every node, as an int64 array."""
+        return np.diff(self.indptr)
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """``d_in(v)`` for every node (equals out-degrees when undirected)."""
+        if self._in_degrees is None:
+            self._in_degrees = np.bincount(self.indices, minlength=self.num_nodes).astype(np.int64)
+        return self._in_degrees
+
+    # ------------------------------------------------------------------
+    # neighborhood access
+    # ------------------------------------------------------------------
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Sorted out-neighbors of node ``v`` (a view, do not mutate)."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def has_arc(self, u: int, v: int) -> bool:
+        """True if the directed arc ``(u, v)`` is present."""
+        row = self.out_neighbors(u)
+        i = np.searchsorted(row, v)
+        return bool(i < len(row) and row[i] == v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if ``(u, v)`` exists; for undirected graphs order is ignored."""
+        if self.directed:
+            return self.has_arc(u, v)
+        return self.has_arc(u, v) or self.has_arc(v, u)
+
+    def arcs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(sources, destinations)`` arrays of all stored arcs."""
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.out_degrees)
+        return src, self.indices.copy()
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return edges once each; for undirected graphs only ``u <= v`` pairs."""
+        src, dst = self.arcs()
+        if self.directed:
+            return src, dst
+        keep = src <= dst
+        return src[keep], dst[keep]
+
+    # ------------------------------------------------------------------
+    # matrix views
+    # ------------------------------------------------------------------
+    def adjacency(self, dtype=np.float64) -> sp.csr_matrix:
+        """The adjacency matrix ``A`` as a scipy CSR matrix."""
+        data = np.ones(self.num_arcs, dtype=dtype)
+        return sp.csr_matrix((data, self.indices, self.indptr),
+                             shape=(self.num_nodes, self.num_nodes))
+
+    def out_degree_inverse(self) -> np.ndarray:
+        """``1 / d_out(v)`` with dangling nodes (``d_out = 0``) mapped to 0.
+
+        The paper assumes no dangling nodes; we define ``D^-1`` rows of
+        dangling nodes as zero so a random walk that reaches one simply
+        terminates, which keeps ``P`` substochastic rather than invalid.
+        """
+        deg = self.out_degrees.astype(np.float64)
+        inv = np.zeros_like(deg)
+        np.divide(1.0, deg, out=inv, where=deg > 0)
+        return inv
+
+    def transition_matrix(self, dtype=np.float64) -> sp.csr_matrix:
+        """The random-walk transition matrix ``P = D^-1 A`` (CSR)."""
+        inv = self.out_degree_inverse()
+        data = np.repeat(inv, self.out_degrees).astype(dtype)
+        return sp.csr_matrix((data, self.indices, self.indptr),
+                             shape=(self.num_nodes, self.num_nodes))
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def transpose(self) -> "Graph":
+        """The graph with every arc reversed (cached; self if undirected)."""
+        if not self.directed:
+            return self
+        if self._transpose is None:
+            a_t = self.adjacency().T.tocsr()
+            a_t.sort_indices()
+            self._transpose = Graph(a_t.indptr.astype(np.int64),
+                                    a_t.indices.astype(np.int64), directed=True)
+        return self._transpose
+
+    def as_undirected(self) -> "Graph":
+        """Return an undirected copy (arc set symmetrized, duplicates merged)."""
+        if not self.directed:
+            return self
+        a = self.adjacency()
+        sym = ((a + a.T) > 0).astype(np.float64).tocsr()
+        sym.sort_indices()
+        return Graph(sym.indptr.astype(np.int64), sym.indices.astype(np.int64),
+                     directed=False)
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        n = self.num_nodes
+        if n < 0 or self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise GraphFormatError("malformed indptr")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphFormatError("indptr must be nondecreasing")
+        if len(self.indices) and (self.indices.min() < 0 or self.indices.max() >= n):
+            raise GraphFormatError("edge endpoint out of range")
+        for v in range(n):
+            row = self.out_neighbors(v)
+            if len(row) > 1 and np.any(np.diff(row) <= 0):
+                raise GraphFormatError(f"row {v} is not sorted/unique")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "directed" if self.directed else "undirected"
+        return f"Graph(n={self.num_nodes}, edges={self.num_edges}, {kind})"

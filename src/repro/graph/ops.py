@@ -1,0 +1,81 @@
+"""Graph transformations: edge removal, subgraphs, component extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .build import from_edges
+from .graph import Graph
+
+__all__ = ["remove_arcs", "subgraph", "largest_connected_component",
+           "arc_ids", "arc_index_of"]
+
+
+def arc_ids(graph: Graph) -> np.ndarray:
+    """Stable 64-bit key ``u * n + v`` for every stored arc (used by splits)."""
+    src, dst = graph.arcs()
+    return src * np.int64(graph.num_nodes) + dst
+
+
+def arc_index_of(graph: Graph, sources: np.ndarray, destinations: np.ndarray) -> np.ndarray:
+    """Positions of arcs ``(u, v)`` inside ``graph.indices`` (-1 if absent)."""
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(destinations, dtype=np.int64)
+    out = np.full(len(src), -1, dtype=np.int64)
+    starts = graph.indptr[src]
+    ends = graph.indptr[src + 1]
+    for i in range(len(src)):
+        row = graph.indices[starts[i]:ends[i]]
+        j = np.searchsorted(row, dst[i])
+        if j < len(row) and row[j] == dst[i]:
+            out[i] = starts[i] + j
+    return out
+
+
+def remove_arcs(graph: Graph, sources, destinations) -> Graph:
+    """Return a copy of ``graph`` with the given arcs removed.
+
+    For undirected graphs the reverse arcs are removed too, so the result
+    stays symmetric. Arcs not present are ignored.
+    """
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(destinations, dtype=np.int64)
+    if not graph.directed:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    n = graph.num_nodes
+    drop = np.unique(src * np.int64(n) + dst)
+    all_src, all_dst = graph.arcs()
+    keys = all_src * np.int64(n) + all_dst
+    keep = ~np.isin(keys, drop, assume_unique=False)
+    # Rebuild without re-symmetrizing: arcs already contain both directions.
+    kept_src, kept_dst = all_src[keep], all_dst[keep]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(kept_src, minlength=n), out=indptr[1:])
+    return Graph(indptr, kept_dst, directed=graph.directed)
+
+
+def subgraph(graph: Graph, nodes) -> Graph:
+    """Induced subgraph on ``nodes`` with ids remapped to ``0..len-1``."""
+    nodes = np.asarray(sorted(set(np.asarray(nodes, dtype=np.int64).tolist())),
+                       dtype=np.int64)
+    remap = -np.ones(graph.num_nodes, dtype=np.int64)
+    remap[nodes] = np.arange(len(nodes))
+    src, dst = graph.arcs()
+    keep = (remap[src] >= 0) & (remap[dst] >= 0)
+    if not graph.directed:
+        # arcs() stores both directions; from_edges re-symmetrizes, so feed
+        # each undirected edge once.
+        keep &= src <= dst
+    return from_edges(len(nodes), remap[src[keep]], remap[dst[keep]],
+                      directed=graph.directed)
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """Induced subgraph of the largest (weakly) connected component."""
+    n_comp, labels = sp.csgraph.connected_components(
+        graph.adjacency(), directed=graph.directed, connection="weak")
+    if n_comp <= 1:
+        return graph
+    counts = np.bincount(labels)
+    return subgraph(graph, np.flatnonzero(labels == counts.argmax()))

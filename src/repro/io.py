@@ -1,0 +1,83 @@
+"""Persistence for embeddings and learned weights.
+
+A fitted model's state is two (or one) float matrices plus metadata;
+saving them lets the expensive embedding step be decoupled from the
+downstream tasks, as the paper's own pipeline does (embed once, reuse
+across link prediction / reconstruction / classification).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .embedder import Embedder
+from .errors import ReproError
+
+__all__ = ["save_embeddings", "load_embeddings", "EmbeddingBundle"]
+
+
+class EmbeddingBundle:
+    """A loaded embedding with the same scoring interface as an Embedder."""
+
+    def __init__(self, *, name: str, directional: bool,
+                 embedding: np.ndarray | None = None,
+                 forward: np.ndarray | None = None,
+                 backward: np.ndarray | None = None,
+                 metadata: dict | None = None) -> None:
+        self.name = name
+        self.directional = directional
+        self.embedding_ = embedding
+        self.forward_ = forward
+        self.backward_ = backward
+        self.metadata = metadata or {}
+
+    # reuse the Embedder scoring implementations
+    node_features = Embedder.node_features
+    score_pairs = Embedder.score_pairs
+    score_all_from = Embedder.score_all_from
+    _require_fitted = Embedder._require_fitted
+    lp_scoring = "inner"
+
+
+def save_embeddings(model, path: str | Path, *, metadata: dict | None = None,
+                    ) -> None:
+    """Save a fitted embedder's matrices + metadata to a ``.npz`` file."""
+    path = Path(path)
+    meta = {"name": getattr(model, "name", type(model).__name__),
+            "directional": bool(getattr(model, "directional", False))}
+    meta.update(metadata or {})
+    arrays: dict[str, np.ndarray] = {
+        "metadata": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)}
+    if meta["directional"]:
+        if model.forward_ is None or model.backward_ is None:
+            raise ReproError("model is not fitted")
+        arrays["forward"] = model.forward_
+        arrays["backward"] = model.backward_
+    else:
+        if model.embedding_ is None:
+            raise ReproError("model is not fitted")
+        arrays["embedding"] = model.embedding_
+    for extra in ("w_fwd_", "w_bwd_"):
+        value = getattr(model, extra, None)
+        if value is not None:
+            arrays[extra.rstrip("_")] = value
+    np.savez_compressed(path, **arrays)
+
+
+def load_embeddings(path: str | Path) -> EmbeddingBundle:
+    """Load a bundle produced by :func:`save_embeddings`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["metadata"].tobytes()).decode())
+        bundle = EmbeddingBundle(
+            name=meta.pop("name"), directional=meta.pop("directional"),
+            embedding=data["embedding"] if "embedding" in data else None,
+            forward=data["forward"] if "forward" in data else None,
+            backward=data["backward"] if "backward" in data else None,
+            metadata=meta)
+        for extra in ("w_fwd", "w_bwd"):
+            if extra in data:
+                bundle.metadata[extra] = data[extra]
+    return bundle

@@ -1,0 +1,71 @@
+"""Chebyshev approximation of spectral matrix functions.
+
+Lets us apply ``g(L) X`` for a symmetric operator ``L`` with known
+spectral interval without eigendecomposition — the primitive behind the
+ProNE spectral-propagation baseline (band-pass Gaussian filter) and the
+GraphWave baseline (heat kernel ``exp(-s L)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["chebyshev_coefficients", "apply_chebyshev_filter"]
+
+
+def chebyshev_coefficients(func: Callable[[np.ndarray], np.ndarray],
+                           order: int, interval: tuple[float, float],
+                           num_points: int | None = None) -> np.ndarray:
+    """Coefficients ``c_0..c_order`` of ``func`` on ``interval``.
+
+    Uses Chebyshev–Gauss quadrature: exact for polynomials up to the
+    quadrature size and numerically stable for the smooth filters we use.
+    The expansion is ``func(x) ~= c_0/2 + sum_{j>=1} c_j T_j(t(x))`` where
+    ``t`` maps ``interval`` to ``[-1, 1]``.
+    """
+    if order < 0:
+        raise ParameterError("order must be nonnegative")
+    lo, hi = interval
+    if hi <= lo:
+        raise ParameterError("interval must have positive length")
+    npts = num_points or max(order + 1, 64)
+    theta = (np.arange(npts) + 0.5) * np.pi / npts
+    x = np.cos(theta)                       # quadrature nodes in [-1, 1]
+    fx = func((x + 1.0) * (hi - lo) / 2.0 + lo)
+    j = np.arange(order + 1)[:, None]
+    return (2.0 / npts) * (np.cos(j * theta[None, :]) * fx[None, :]).sum(axis=1)
+
+
+def apply_chebyshev_filter(matvec: Callable[[np.ndarray], np.ndarray],
+                           signal: np.ndarray, coeffs: np.ndarray,
+                           interval: tuple[float, float]) -> np.ndarray:
+    """Evaluate ``g(L) @ signal`` from Chebyshev coefficients of ``g``.
+
+    ``matvec`` applies the operator ``L`` (e.g. a sparse Laplacian);
+    ``interval`` must contain the spectrum of ``L``. Standard three-term
+    recurrence on the shifted operator ``(2 L - (hi+lo) I) / (hi-lo)``.
+    """
+    lo, hi = interval
+    if hi <= lo:
+        raise ParameterError("interval must have positive length")
+    center = (hi + lo) / 2.0
+    half = (hi - lo) / 2.0
+
+    def shifted(x: np.ndarray) -> np.ndarray:
+        return (matvec(x) - center * x) / half
+
+    t_prev = signal
+    result = 0.5 * coeffs[0] * t_prev
+    if len(coeffs) == 1:
+        return result
+    t_curr = shifted(signal)
+    result = result + coeffs[1] * t_curr
+    for c in coeffs[2:]:
+        t_next = 2.0 * shifted(t_curr) - t_prev
+        result = result + c * t_next
+        t_prev, t_curr = t_curr, t_next
+    return result

@@ -1,0 +1,74 @@
+"""Positive pointwise mutual information matrices.
+
+The PPMI transform is the bridge between random-walk co-occurrence counts
+and matrix factorization: NetMF/NetSMF factorize the PPMI of the DeepWalk
+co-occurrence expectation, and DNGR feeds a PPMI matrix to an autoencoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import ParameterError
+
+__all__ = ["ppmi_dense", "ppmi_sparse", "deepwalk_matrix_dense"]
+
+
+def ppmi_dense(cooc: np.ndarray, *, shift: float = 1.0) -> np.ndarray:
+    """``max(0, log(#(w,c) |D| / (#w #c) / shift))`` for a dense count matrix."""
+    if shift <= 0:
+        raise ParameterError("shift must be positive")
+    cooc = np.asarray(cooc, dtype=np.float64)
+    total = cooc.sum()
+    if total <= 0:
+        return np.zeros_like(cooc)
+    row = cooc.sum(axis=1, keepdims=True)
+    col = cooc.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pmi = np.log(cooc * total / (row @ col) / shift)
+    pmi[~np.isfinite(pmi)] = 0.0
+    return np.maximum(pmi, 0.0)
+
+
+def ppmi_sparse(cooc: sp.spmatrix, *, shift: float = 1.0) -> sp.csr_matrix:
+    """Sparse PPMI: zero counts stay zero (their PMI is ``-inf`` -> clipped)."""
+    if shift <= 0:
+        raise ParameterError("shift must be positive")
+    c = sp.csr_matrix(cooc, dtype=np.float64)
+    total = c.sum()
+    if total <= 0:
+        return sp.csr_matrix(c.shape)
+    row = np.asarray(c.sum(axis=1)).ravel()
+    col = np.asarray(c.sum(axis=0)).ravel()
+    coo = c.tocoo()
+    denom = row[coo.row] * col[coo.col]
+    vals = np.log(coo.data * total / denom / shift)
+    vals = np.maximum(vals, 0.0)
+    out = sp.csr_matrix((vals, (coo.row, coo.col)), shape=c.shape)
+    out.eliminate_zeros()
+    return out
+
+
+def deepwalk_matrix_dense(adjacency: sp.spmatrix, window: int,
+                          negatives: float = 1.0) -> np.ndarray:
+    """NetMF's closed-form DeepWalk matrix (dense; small graphs only).
+
+    ``M = log^+( vol(G)/(b T) * (sum_{r=1..T} P^r) D^{-1} )`` where ``P``
+    is the random-walk matrix, ``T`` the window and ``b`` the number of
+    negative samples (Qiu et al., WSDM 2018, Theorem 2.3).
+    """
+    a = sp.csr_matrix(adjacency, dtype=np.float64)
+    deg = np.asarray(a.sum(axis=1)).ravel()
+    deg_safe = np.where(deg > 0, deg, 1.0)
+    vol = deg.sum()
+    p = sp.diags(1.0 / deg_safe) @ a
+    power = sp.identity(a.shape[0], format="csr")
+    acc = np.zeros(a.shape, dtype=np.float64)
+    for _ in range(window):
+        power = power @ p
+        acc += power.toarray()
+    m = (vol / (negatives * window)) * acc / deg_safe[None, :]
+    with np.errstate(divide="ignore"):
+        logm = np.log(np.maximum(m, 1e-12))
+    return np.maximum(logm, 0.0)

@@ -1,0 +1,33 @@
+"""Gaussian random projections (the RandNE baseline's core primitive)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..rng import ensure_rng
+
+__all__ = ["gaussian_projection", "orthogonal_projection"]
+
+
+def gaussian_projection(matrix, dim: int, *, seed=None) -> np.ndarray:
+    """Project the rows of ``matrix`` to ``dim`` dimensions with a Gaussian map.
+
+    Entries are ``N(0, 1/dim)`` so squared row norms are preserved in
+    expectation (Johnson–Lindenstrauss).
+    """
+    if dim < 1:
+        raise ParameterError("projection dim must be >= 1")
+    rng = ensure_rng(seed)
+    r = rng.standard_normal((matrix.shape[1], dim)) / np.sqrt(dim)
+    return np.asarray(matrix @ r)
+
+
+def orthogonal_projection(matrix, dim: int, *, seed=None) -> np.ndarray:
+    """Projection with an orthonormalized Gaussian map (RandNE's choice)."""
+    if dim < 1:
+        raise ParameterError("projection dim must be >= 1")
+    rng = ensure_rng(seed)
+    r = rng.standard_normal((matrix.shape[1], dim))
+    q, _ = np.linalg.qr(r)
+    return np.asarray(matrix @ q)

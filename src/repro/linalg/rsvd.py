@@ -1,0 +1,48 @@
+"""Simple randomized SVD (Halko, Martinsson & Tropp 2011).
+
+Used as the cheaper alternative to :func:`repro.linalg.bksvd.bksvd` in the
+SVD-initialization ablation, and as the factorization backend of several
+baseline methods (NetSMF, STRAP).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..rng import ensure_rng
+from .bksvd import _fix_signs
+
+__all__ = ["randomized_svd"]
+
+
+def randomized_svd(matrix, rank: int, *, oversample: int = 10,
+                   power_iters: int = 4, seed=None,
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Approximate top-``rank`` SVD via the range-finder + power scheme.
+
+    Cheaper than block-Krylov (one basis of ``rank + oversample`` columns)
+    but with a weaker error guarantee; see Halko et al. for the analysis.
+    """
+    n, d = matrix.shape
+    if rank < 1 or rank > min(n, d):
+        raise ParameterError(f"rank={rank} out of range for shape {(n, d)}")
+    rng = ensure_rng(seed)
+    cols = min(rank + oversample, min(n, d))
+    basis = matrix @ rng.standard_normal((d, cols))
+    basis, _ = np.linalg.qr(basis)
+    for _ in range(power_iters):
+        basis = matrix @ (matrix.T @ basis)
+        basis, _ = np.linalg.qr(basis)
+
+    w = np.asarray((matrix.T @ basis)).T  # (cols, d)
+    small = w @ w.T
+    eigvals, eigvecs = np.linalg.eigh(small)
+    order = np.argsort(eigvals)[::-1][:rank]
+    eigvals = np.maximum(eigvals[order], 0.0)
+    u = basis @ eigvecs[:, order]
+    sigma = np.sqrt(eigvals)
+    safe = np.where(sigma > 1e-12, sigma, 1.0)
+    v = np.asarray(matrix.T @ u) / safe
+    u, v = _fix_signs(u, v)
+    return u, sigma, v

@@ -1,0 +1,50 @@
+"""Deterministic wrappers around scipy's sparse eigensolvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import ParameterError
+from .bksvd import _fix_signs
+
+__all__ = ["sparse_svd", "sparse_eigsh"]
+
+
+def sparse_svd(matrix, rank: int, *, seed: int = 0,
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Top-``rank`` SVD via Lanczos (``scipy svds``) with fixed start vector.
+
+    Results are returned in descending singular-value order with a
+    deterministic sign convention, so embeddings built on top are
+    reproducible across runs.
+    """
+    n, d = matrix.shape
+    if rank < 1 or rank >= min(n, d):
+        raise ParameterError(f"rank must be in [1, {min(n, d) - 1}]")
+    rng = np.random.default_rng(seed)
+    v0 = rng.standard_normal(min(n, d))
+    u, s, vt = spla.svds(matrix.astype(np.float64), k=rank, v0=v0)
+    order = np.argsort(s)[::-1]
+    u, s, v = u[:, order], s[order], vt[order].T
+    u, v = _fix_signs(u, v)
+    return u, s, v
+
+
+def sparse_eigsh(matrix, rank: int, *, which: str = "LA", seed: int = 0,
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Top-``rank`` eigenpairs of a symmetric sparse matrix (descending)."""
+    n = matrix.shape[0]
+    if rank < 1 or rank >= n:
+        raise ParameterError(f"rank must be in [1, {n - 1}]")
+    rng = np.random.default_rng(seed)
+    v0 = rng.standard_normal(n)
+    vals, vecs = spla.eigsh(matrix.astype(np.float64), k=rank, which=which,
+                            v0=v0)
+    order = np.argsort(vals)[::-1]
+    vals, vecs = vals[order], vecs[:, order]
+    idx = np.argmax(np.abs(vecs), axis=0)
+    signs = np.sign(vecs[idx, np.arange(vecs.shape[1])])
+    signs[signs == 0] = 1.0
+    return vals, vecs * signs

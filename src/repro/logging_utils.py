@@ -1,0 +1,51 @@
+"""Lightweight timing and progress helpers used by the bench harness."""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+
+__all__ = ["get_logger", "Timer", "timed"]
+
+_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the package logger (or a child of it)."""
+    if name:
+        return logging.getLogger(f"{_LOGGER_NAME}.{name}")
+    return logging.getLogger(_LOGGER_NAME)
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+
+@contextmanager
+def timed(label: str, logger: logging.Logger | None = None):
+    """Context manager logging the wall-clock duration of a block."""
+    log = logger or get_logger()
+    start = time.perf_counter()
+    yield
+    log.debug("%s took %.3fs", label, time.perf_counter() - start)

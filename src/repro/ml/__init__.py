@@ -1,0 +1,13 @@
+"""ML substrate: logistic regression, metrics, feature preprocessing."""
+
+from .logistic import LogisticRegression, OneVsRestLogistic
+from .metrics import accuracy, auc_score, macro_f1, micro_f1, precision_at_k
+from .preprocess import (concat_features, hadamard_features, normalize_rows,
+                         standardize_columns)
+
+__all__ = [
+    "LogisticRegression", "OneVsRestLogistic",
+    "auc_score", "precision_at_k", "micro_f1", "macro_f1", "accuracy",
+    "normalize_rows", "standardize_columns", "concat_features",
+    "hadamard_features",
+]

@@ -1,0 +1,56 @@
+"""Small k-means (Lloyd's algorithm with k-means++ seeding).
+
+Substrate for the NetHiex baseline's latent taxonomy construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..rng import ensure_rng
+
+__all__ = ["kmeans"]
+
+
+def kmeans(points: np.ndarray, num_clusters: int, *, max_iters: int = 50,
+           seed=None) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster rows of ``points``; returns ``(assignments, centroids)``."""
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if num_clusters < 1 or num_clusters > n:
+        raise ParameterError("num_clusters must be in [1, n]")
+    rng = ensure_rng(seed)
+
+    # k-means++ seeding
+    centroids = np.empty((num_clusters, points.shape[1]))
+    centroids[0] = points[rng.integers(0, n)]
+    dist_sq = ((points - centroids[0]) ** 2).sum(axis=1)
+    for c in range(1, num_clusters):
+        total = dist_sq.sum()
+        if total <= 0:
+            centroids[c:] = points[rng.integers(0, n, size=num_clusters - c)]
+            break
+        probs = dist_sq / total
+        centroids[c] = points[rng.choice(n, p=probs)]
+        dist_sq = np.minimum(dist_sq,
+                             ((points - centroids[c]) ** 2).sum(axis=1))
+
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iters):
+        # squared distances to every centroid, (n, k)
+        d2 = (points * points).sum(axis=1, keepdims=True) \
+            - 2.0 * points @ centroids.T \
+            + (centroids * centroids).sum(axis=1)[None, :]
+        new_assign = d2.argmin(axis=1)
+        if np.array_equal(new_assign, assignments) and _ > 0:
+            break
+        assignments = new_assign
+        for c in range(num_clusters):
+            members = points[assignments == c]
+            if len(members):
+                centroids[c] = members.mean(axis=0)
+            else:   # re-seed an empty cluster at the farthest point
+                far = d2.min(axis=1).argmax()
+                centroids[c] = points[far]
+    return assignments, centroids

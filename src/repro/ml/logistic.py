@@ -1,0 +1,136 @@
+"""Logistic regression, binary and one-vs-rest (the paper's classifier).
+
+The paper trains a one-vs-all logistic regression on node embeddings for
+classification (Section 5.4) and on concatenated edge features for the
+edge-features link-prediction variant (Section 5.2). No sklearn here, so
+this is a from-scratch implementation: L2-regularized negative
+log-likelihood minimized with scipy's L-BFGS (gradient supplied), with a
+plain gradient-descent fallback if scipy's optimizer ever fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..errors import DimensionError, ParameterError
+
+__all__ = ["LogisticRegression", "OneVsRestLogistic"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class LogisticRegression:
+    """Binary logistic regression with L2 regularization.
+
+    Parameters
+    ----------
+    reg:
+        L2 coefficient on the weights (not the intercept).
+    max_iters:
+        Optimizer iteration budget.
+    """
+
+    def __init__(self, reg: float = 1.0, max_iters: int = 200) -> None:
+        if reg < 0:
+            raise ParameterError("reg must be nonnegative")
+        self.reg = reg
+        self.max_iters = max_iters
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def _loss_grad(self, params: np.ndarray, features: np.ndarray,
+                   labels: np.ndarray) -> tuple[float, np.ndarray]:
+        w, b = params[:-1], params[-1]
+        z = features @ w + b
+        # log(1 + exp(z)) - y z, computed stably
+        loss = float(np.sum(np.logaddexp(0.0, z) - labels * z))
+        loss += 0.5 * self.reg * float(w @ w)
+        p = _sigmoid(z)
+        grad_w = features.T @ (p - labels) + self.reg * w
+        grad_b = float(np.sum(p - labels))
+        return loss, np.concatenate([grad_w, [grad_b]])
+
+    def fit(self, features: np.ndarray, labels: np.ndarray,
+            ) -> "LogisticRegression":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        if len(features) != len(labels):
+            raise DimensionError("features and labels must align")
+        start = np.zeros(features.shape[1] + 1)
+        result = minimize(self._loss_grad, start, args=(features, labels),
+                          jac=True, method="L-BFGS-B",
+                          options={"maxiter": self.max_iters})
+        params = result.x
+        if not np.all(np.isfinite(params)):           # pragma: no cover
+            params = self._gradient_descent(features, labels)
+        self.coef_ = params[:-1]
+        self.intercept_ = float(params[-1])
+        return self
+
+    def _gradient_descent(self, features: np.ndarray,
+                          labels: np.ndarray) -> np.ndarray:
+        params = np.zeros(features.shape[1] + 1)
+        lr = 1.0 / max(1.0, np.abs(features).max() ** 2 * len(features))
+        for _ in range(self.max_iters * 5):
+            _, grad = self._loss_grad(params, features, labels)
+            params -= lr * grad
+        return params
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise ParameterError("fit() must be called first")
+        return np.asarray(features, dtype=np.float64) @ self.coef_ + self.intercept_
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(label = 1) per row."""
+        return _sigmoid(self.decision_function(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.decision_function(features) >= 0).astype(np.int8)
+
+
+class OneVsRestLogistic:
+    """One classifier per label; scores are per-label probabilities."""
+
+    def __init__(self, reg: float = 1.0, max_iters: int = 200) -> None:
+        self.reg = reg
+        self.max_iters = max_iters
+        self.models_: list[LogisticRegression] = []
+        self.constant_: list[float | None] = []
+
+    def fit(self, features: np.ndarray, membership: np.ndarray,
+            ) -> "OneVsRestLogistic":
+        membership = np.atleast_2d(np.asarray(membership))
+        if len(features) != len(membership):
+            raise DimensionError("features and membership must align")
+        self.models_ = []
+        self.constant_ = []
+        for label in range(membership.shape[1]):
+            col = membership[:, label].astype(np.float64)
+            if col.min() == col.max():
+                # degenerate label in the training split: constant probability
+                self.models_.append(LogisticRegression(self.reg))
+                self.constant_.append(float(col.max()))
+                continue
+            model = LogisticRegression(self.reg, self.max_iters)
+            model.fit(features, col)
+            self.models_.append(model)
+            self.constant_.append(None)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if not self.models_:
+            raise ParameterError("fit() must be called first")
+        n = len(features)
+        out = np.empty((n, len(self.models_)))
+        for j, (model, const) in enumerate(zip(self.models_, self.constant_)):
+            out[:, j] = const if const is not None else model.predict_proba(features)
+        return out

@@ -1,0 +1,37 @@
+"""Feature preprocessing helpers shared by the evaluation tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalize_rows", "standardize_columns", "hadamard_features",
+           "concat_features"]
+
+
+def normalize_rows(matrix: np.ndarray, *, order: int = 2) -> np.ndarray:
+    """L_p-normalize each row; all-zero rows are returned unchanged."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(matrix, ord=order, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return matrix / norms
+
+
+def standardize_columns(matrix: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance columns (constant columns left at zero)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    mean = matrix.mean(axis=0, keepdims=True)
+    std = matrix.std(axis=0, keepdims=True)
+    std[std == 0] = 1.0
+    return (matrix - mean) / std
+
+
+def concat_features(features: np.ndarray, src: np.ndarray,
+                    dst: np.ndarray) -> np.ndarray:
+    """The paper's edge-features representation: ``[f(u); f(v)]``."""
+    return np.hstack([features[src], features[dst]])
+
+
+def hadamard_features(features: np.ndarray, src: np.ndarray,
+                      dst: np.ndarray) -> np.ndarray:
+    """Element-wise product edge features (node2vec's alternative)."""
+    return features[src] * features[dst]

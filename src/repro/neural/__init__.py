@@ -1,0 +1,9 @@
+"""Neural substrate: layers, optimizers, autoencoder, SGNS trainer."""
+
+from .autoencoder import Autoencoder
+from .layers import ACTIVATIONS, Activation, Dense
+from .optim import SGD, Adam
+from .sgns import SGNS, unigram_noise
+
+__all__ = ["Dense", "Activation", "ACTIVATIONS", "SGD", "Adam",
+           "Autoencoder", "SGNS", "unigram_noise"]

@@ -1,0 +1,89 @@
+"""MLP autoencoder with manual backprop (DNGR's embedding machine)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..rng import ensure_rng, spawn_rngs
+from .layers import Dense
+from .optim import Adam
+
+__all__ = ["Autoencoder"]
+
+
+class Autoencoder:
+    """Symmetric encoder/decoder trained on mean-squared reconstruction.
+
+    ``hidden_dims`` describes the encoder half, e.g. ``(256, 128)``
+    encodes ``in_dim -> 256 -> 128``; the decoder mirrors it. The middle
+    activation is ``tanh`` so codes are bounded (as in DNGR); the output
+    layer is linear.
+    """
+
+    def __init__(self, in_dim: int, hidden_dims: tuple[int, ...], *,
+                 activation: str = "tanh", lr: float = 1e-3,
+                 seed=None) -> None:
+        if not hidden_dims:
+            raise ParameterError("need at least one hidden dim")
+        rngs = spawn_rngs(seed, 2 * len(hidden_dims))
+        dims = (in_dim, *hidden_dims)
+        self.encoder = [Dense(dims[i], dims[i + 1], activation, seed=rngs[i])
+                        for i in range(len(hidden_dims))]
+        rev = dims[::-1]
+        self.decoder = []
+        for i in range(len(hidden_dims)):
+            act = activation if i < len(hidden_dims) - 1 else "identity"
+            self.decoder.append(Dense(rev[i], rev[i + 1], act,
+                                      seed=rngs[len(hidden_dims) + i]))
+        self.optimizer = Adam(lr=lr)
+
+    # ------------------------------------------------------------------
+    def _layers(self):
+        return [*self.encoder, *self.decoder]
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass through the encoder only."""
+        out = x
+        for layer in self.encoder:
+            out = layer.forward(out)
+        return out
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self._layers():
+            out = layer.forward(out)
+        return out
+
+    def train_batch(self, batch: np.ndarray) -> float:
+        """One gradient step on MSE reconstruction; returns the loss."""
+        for layer in self._layers():
+            layer.zero_grad()
+        recon = self.forward(batch)
+        diff = recon - batch
+        loss = float((diff * diff).mean())
+        grad = 2.0 * diff / diff.size
+        for layer in reversed(self._layers()):
+            grad = layer.backward(grad)
+        params = []
+        for layer in self._layers():
+            params.extend(layer.parameters)
+        self.optimizer.step(params)
+        return loss
+
+    def fit(self, data: np.ndarray, *, epochs: int = 30,
+            batch_size: int = 256, seed=None) -> list[float]:
+        """Minibatch training; returns the per-epoch mean losses."""
+        rng = ensure_rng(seed)
+        losses = []
+        n = len(data)
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, batch_size):
+                batch = data[order[start:start + batch_size]]
+                epoch_loss += self.train_batch(batch)
+                batches += 1
+            losses.append(epoch_loss / max(batches, 1))
+        return losses

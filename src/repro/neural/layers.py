@@ -1,0 +1,133 @@
+"""Minimal dense neural-network layers with manual backprop.
+
+Just enough machinery for the paper's neural baselines (DNGR's stacked
+autoencoder, DRNE's recurrent aggregator, GraphGAN's generator and
+discriminator) without any deep-learning framework: each layer caches
+its forward inputs and exposes ``backward`` returning the gradient with
+respect to its input while accumulating parameter gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..rng import ensure_rng
+
+__all__ = ["Dense", "Activation", "ACTIVATIONS"]
+
+
+def _relu(z):
+    return np.maximum(z, 0.0)
+
+
+def _relu_grad(z, _out):
+    return (z > 0).astype(np.float64)
+
+
+def _sigmoid(z):
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def _sigmoid_grad(_z, out):
+    return out * (1.0 - out)
+
+
+def _tanh(z):
+    return np.tanh(z)
+
+
+def _tanh_grad(_z, out):
+    return 1.0 - out * out
+
+
+def _identity(z):
+    return z
+
+
+def _identity_grad(z, _out):
+    return np.ones_like(z)
+
+
+#: name -> (function, gradient-from-(input, output)) pairs
+ACTIVATIONS = {
+    "relu": (_relu, _relu_grad),
+    "sigmoid": (_sigmoid, _sigmoid_grad),
+    "tanh": (_tanh, _tanh_grad),
+    "identity": (_identity, _identity_grad),
+}
+
+
+class Dense:
+    """Fully connected layer ``out = act(x W + b)`` with Xavier init."""
+
+    def __init__(self, in_dim: int, out_dim: int, activation: str = "identity",
+                 *, seed=None) -> None:
+        if activation not in ACTIVATIONS:
+            raise ParameterError(f"unknown activation {activation!r}")
+        rng = ensure_rng(seed)
+        limit = np.sqrt(6.0 / (in_dim + out_dim))
+        self.weight = rng.uniform(-limit, limit, size=(in_dim, out_dim))
+        self.bias = np.zeros(out_dim)
+        self.activation = activation
+        self._act, self._act_grad = ACTIVATIONS[activation]
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._x: np.ndarray | None = None
+        self._z: np.ndarray | None = None
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._z = x @ self.weight + self.bias
+        self._out = self._act(self._z)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return gradient w.r.t. the input."""
+        if self._x is None:
+            raise ParameterError("backward() before forward()")
+        grad_z = grad_out * self._act_grad(self._z, self._out)
+        self.grad_weight += self._x.T @ grad_z
+        self.grad_bias += grad_z.sum(axis=0)
+        return grad_z @ self.weight.T
+
+    def zero_grad(self) -> None:
+        self.grad_weight[:] = 0.0
+        self.grad_bias[:] = 0.0
+
+    @property
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(value, gradient) pairs, consumed by the optimizers."""
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+class Activation:
+    """Standalone activation layer (kept for explicit architectures)."""
+
+    def __init__(self, name: str) -> None:
+        if name not in ACTIVATIONS:
+            raise ParameterError(f"unknown activation {name!r}")
+        self._act, self._act_grad = ACTIVATIONS[name]
+        self._z: np.ndarray | None = None
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._z = x
+        self._out = self._act(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._act_grad(self._z, self._out)
+
+    def zero_grad(self) -> None:  # pragma: no cover - no parameters
+        pass
+
+    @property
+    def parameters(self) -> list:
+        return []

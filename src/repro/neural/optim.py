@@ -1,0 +1,64 @@
+"""In-place optimizers for the numpy neural stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ParameterError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ParameterError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, parameters) -> None:
+        """Apply one update to ``(value, grad)`` pairs (in place)."""
+        for value, grad in parameters:
+            if self.momentum:
+                vel = self._velocity.setdefault(id(value),
+                                                np.zeros_like(value))
+                vel *= self.momentum
+                vel -= self.lr * grad
+                value += vel
+            else:
+                value -= self.lr * grad
+
+
+class Adam:
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(self, lr: float = 0.001, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        if lr <= 0:
+            raise ParameterError("lr must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, parameters) -> None:
+        """Apply one Adam update to ``(value, grad)`` pairs (in place)."""
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for value, grad in parameters:
+            m = self._m.setdefault(id(value), np.zeros_like(value))
+            v = self._v.setdefault(id(value), np.zeros_like(value))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            value -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

@@ -1,0 +1,106 @@
+"""Skip-gram with negative sampling — the trainer behind the walk baselines.
+
+DeepWalk, node2vec, LINE, APP and VERSE all reduce to this objective:
+maximize ``log sigmoid(w_c . c_ctx)`` for observed (center, context)
+pairs and ``log sigmoid(-w_c . c_neg)`` for sampled negatives. The
+implementation is mini-batched numpy with ``np.add.at`` scatter updates
+(duplicate indices within a batch accumulate correctly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DimensionError, ParameterError
+from ..rng import ensure_rng
+from ..walks.alias import AliasSampler
+
+__all__ = ["SGNS", "unigram_noise"]
+
+
+def unigram_noise(frequencies: np.ndarray, power: float = 0.75) -> AliasSampler:
+    """word2vec's smoothed unigram noise distribution (freq^0.75)."""
+    freq = np.asarray(frequencies, dtype=np.float64)
+    freq = np.maximum(freq, 1e-12) ** power
+    return AliasSampler(freq)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+
+class SGNS:
+    """Two embedding tables (input/center and output/context).
+
+    ``shared=True`` ties the tables (VERSE's single-vector setting);
+    otherwise ``input_vectors`` and ``output_vectors`` are independent,
+    which is what gives APP its forward/backward directionality.
+    """
+
+    def __init__(self, num_nodes: int, dim: int, *, num_context: int | None = None,
+                 shared: bool = False, init_scale: float | None = None,
+                 seed=None) -> None:
+        if num_nodes < 1 or dim < 1:
+            raise ParameterError("num_nodes and dim must be positive")
+        rng = ensure_rng(seed)
+        scale = init_scale if init_scale is not None else 0.5 / dim
+        self.input_vectors = rng.uniform(-scale, scale, size=(num_nodes, dim))
+        ctx_rows = num_nodes if num_context is None else num_context
+        if shared:
+            self.output_vectors = self.input_vectors
+        else:
+            self.output_vectors = rng.uniform(-scale, scale,
+                                              size=(ctx_rows, dim))
+        self.shared = shared
+
+    def train(self, centers: np.ndarray, contexts: np.ndarray, *,
+              noise: AliasSampler, epochs: int = 1, num_negatives: int = 5,
+              lr: float = 0.025, batch_size: int = 4096, seed=None,
+              ) -> float:
+        """Train on the given pair corpus; returns the final batch loss."""
+        centers = np.asarray(centers, dtype=np.int64)
+        contexts = np.asarray(contexts, dtype=np.int64)
+        if centers.shape != contexts.shape:
+            raise DimensionError("centers and contexts must align")
+        if len(centers) == 0:
+            return 0.0
+        rng = ensure_rng(seed)
+        loss = 0.0
+        total_batches = max(1, epochs * ((len(centers) - 1) // batch_size + 1))
+        batch_idx = 0
+        for _ in range(epochs):
+            order = rng.permutation(len(centers))
+            for start in range(0, len(centers), batch_size):
+                sel = order[start:start + batch_size]
+                # linear learning-rate decay, as in word2vec
+                step = lr * max(0.05, 1.0 - batch_idx / total_batches)
+                loss = self._batch(centers[sel], contexts[sel], noise,
+                                   num_negatives, step, rng)
+                batch_idx += 1
+        return loss
+
+    def _batch(self, centers: np.ndarray, contexts: np.ndarray,
+               noise: AliasSampler, num_negatives: int, lr: float,
+               rng: np.random.Generator) -> float:
+        w = self.input_vectors[centers]                       # (b, d)
+        c_pos = self.output_vectors[contexts]                 # (b, d)
+        b = len(centers)
+        negs = noise.sample(b * num_negatives, seed=rng).reshape(b, num_negatives)
+        c_neg = self.output_vectors[negs]                     # (b, neg, d)
+
+        pos_score = _sigmoid(np.einsum("bd,bd->b", w, c_pos))
+        neg_score = _sigmoid(np.einsum("bd,bnd->bn", w, c_neg))
+        loss = float(-(np.log(np.maximum(pos_score, 1e-12)).sum()
+                       + np.log(np.maximum(1.0 - neg_score, 1e-12)).sum()) / b)
+
+        grad_pos = (pos_score - 1.0)[:, None]                 # d/d(w.c_pos)
+        grad_neg = neg_score[:, :, None]                      # d/d(w.c_neg)
+        grad_w = grad_pos * c_pos + np.einsum("bnd,bn->bd", c_neg, neg_score)
+        grad_cpos = grad_pos * w
+        grad_cneg = grad_neg * w[:, None, :]
+
+        np.add.at(self.input_vectors, centers, -lr * grad_w)
+        np.add.at(self.output_vectors, contexts, -lr * grad_cpos)
+        np.add.at(self.output_vectors, negs.ravel(),
+                  -lr * grad_cneg.reshape(-1, grad_cneg.shape[-1]))
+        return loss

@@ -1,0 +1,57 @@
+"""FORA: forward push + Monte-Carlo refinement for single-source PPR
+(Wang et al., KDD 2017 — reference [54] of the NRP paper).
+
+The paper's Section 3.1 surveys this line of work to argue that even
+state-of-the-art single-source solvers are too slow to build the full
+PPR matrix. FORA's idea: run forward push until residues are small,
+then clean up the *remaining* residue with random walks — each walk
+started from a node ``v`` with residue ``r(v)`` contributes an unbiased
+correction because of the push invariant
+
+    pi(s, t) = p(t) + sum_v r(v) pi(v, t).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..graph import Graph
+from ..rng import ensure_rng
+from .forward_push import forward_push
+from .monte_carlo import terminate_walks
+
+__all__ = ["fora"]
+
+
+def fora(graph: Graph, source: int, alpha: float = 0.15, *,
+         r_max: float = 1e-3, walks_per_unit: float = 64.0,
+         seed=None) -> np.ndarray:
+    """FORA estimate of ``pi(source, .)``.
+
+    Parameters
+    ----------
+    r_max:
+        Forward-push residue threshold (per unit of out-degree); larger
+        values shift work from push to sampling.
+    walks_per_unit:
+        Number of walks launched per unit of total leftover residue;
+        the variance of the estimate scales as ``1 / walks_per_unit``.
+    """
+    if walks_per_unit <= 0:
+        raise ParameterError("walks_per_unit must be positive")
+    rng = ensure_rng(seed)
+    estimate, residue = forward_push(graph, source, alpha, r_max=r_max)
+    total_residue = float(residue.sum())
+    if total_residue <= 0:
+        return estimate
+    num_walks = max(1, int(np.ceil(walks_per_unit * total_residue
+                                   * graph.num_nodes * r_max + 1)))
+    num_walks = max(num_walks, int(walks_per_unit))
+    # sample walk start nodes proportional to their residue
+    probs = residue / total_residue
+    starts = rng.choice(graph.num_nodes, size=num_walks, p=probs)
+    stops = terminate_walks(graph, starts, alpha, seed=rng)
+    correction = np.bincount(stops, minlength=graph.num_nodes).astype(float)
+    correction *= total_residue / num_walks
+    return estimate + correction

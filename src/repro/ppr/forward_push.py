@@ -1,0 +1,70 @@
+"""Local forward push for single-source PPR (Andersen et al., FOCS 2006).
+
+Adapted to the paper's termination-style PPR: pushing a node ``v`` moves
+``alpha * r(v)`` into the estimate ``p(v)`` and spreads the remaining
+``(1 - alpha) r(v)`` uniformly over out-neighbors. The invariant
+
+    pi(s, t) = p(t) + sum_v r(v) * pi(v, t)
+
+holds throughout, which gives the standard additive guarantee
+``pi(s, v) - p(v) <= r_max * d_out(v)`` under the degree-scaled
+threshold used here (the scan stops once every residue satisfies
+``r(v) <= r_max * d_out(v)``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..graph import Graph
+
+__all__ = ["forward_push"]
+
+
+def forward_push(graph: Graph, source: int, alpha: float = 0.15, *,
+                 r_max: float = 1e-6, max_pushes: int | None = None,
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Approximate ``pi(source, .)`` by local pushes.
+
+    Returns ``(estimate, residue)``; ``estimate[v] <= pi(source, v)`` and
+    the left-over probability mass equals ``residue.sum()``.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ParameterError("alpha must be in (0, 1)")
+    if r_max <= 0:
+        raise ParameterError("r_max must be positive")
+    n = graph.num_nodes
+    degrees = graph.out_degrees
+    estimate = np.zeros(n)
+    residue = np.zeros(n)
+    residue[source] = 1.0
+    queue: deque[int] = deque([source])
+    in_queue = np.zeros(n, dtype=bool)
+    in_queue[source] = True
+    budget = max_pushes if max_pushes is not None else 10_000_000
+    pushes = 0
+    while queue and pushes < budget:
+        v = queue.popleft()
+        in_queue[v] = False
+        r_v = residue[v]
+        deg = degrees[v]
+        if r_v <= r_max * max(deg, 1):
+            continue
+        pushes += 1
+        residue[v] = 0.0
+        estimate[v] += alpha * r_v
+        if deg == 0:
+            # dangling: the walk terminates here with the full residue
+            estimate[v] += (1.0 - alpha) * r_v
+            continue
+        share = (1.0 - alpha) * r_v / deg
+        neighbors = graph.out_neighbors(v)
+        residue[neighbors] += share
+        for u in neighbors[residue[neighbors] > r_max * np.maximum(degrees[neighbors], 1)]:
+            if not in_queue[u]:
+                queue.append(int(u))
+                in_queue[u] = True
+    return estimate, residue

@@ -1,0 +1,33 @@
+"""Seeded random-number helpers.
+
+Every stochastic routine in the package accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None`` and routes it through
+:func:`ensure_rng` so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a fresh nondeterministic generator, an ``int`` yields a
+    deterministic one, and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``seed``.
+
+    Used when a pipeline has several stochastic stages (e.g. SVD sketching
+    followed by negative sampling) that must not share a stream.
+    """
+    root = ensure_rng(seed)
+    return [np.random.default_rng(s) for s in root.integers(0, 2**63 - 1, size=count)]

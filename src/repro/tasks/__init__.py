@@ -1,0 +1,15 @@
+"""The paper's three evaluation tasks."""
+
+from .classification import (ClassificationResult, evaluate_classification,
+                             top_ell_predict)
+from .link_prediction import (LinkPredictionResult, evaluate_link_prediction,
+                              run_link_prediction)
+from .reconstruction import ReconstructionResult, evaluate_reconstruction
+from .scoring import edge_feature_scores, resolve_scoring, score_test_pairs
+
+__all__ = [
+    "LinkPredictionResult", "evaluate_link_prediction", "run_link_prediction",
+    "ReconstructionResult", "evaluate_reconstruction",
+    "ClassificationResult", "evaluate_classification", "top_ell_predict",
+    "resolve_scoring", "score_test_pairs", "edge_feature_scores",
+]

@@ -1,0 +1,69 @@
+"""Pair-scoring strategies for link prediction (paper Section 5.2).
+
+Resolves each method's declared ``lp_scoring`` convention and, for the
+edge-features family, trains the logistic-regression classifier on
+concatenated endpoint features exactly as the paper describes: the
+training pairs are |E_test| pairs, half residual-graph edges and half
+non-edges, disjoint from the test set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..embedder import Embedder
+from ..errors import ParameterError
+from ..graph import Graph, sample_non_edges
+from ..graph.splits import LinkPredictionSplit
+from ..ml import LogisticRegression, concat_features
+from ..rng import ensure_rng
+
+__all__ = ["resolve_scoring", "score_test_pairs", "edge_feature_scores"]
+
+
+def resolve_scoring(embedder: Embedder, graph: Graph) -> str:
+    """Map a method's ``lp_scoring`` declaration to a concrete strategy."""
+    convention = getattr(embedder, "lp_scoring", "inner")
+    if convention == "auto":
+        return "edge_features" if graph.directed else "inner"
+    if convention not in ("inner", "edge_features"):
+        raise ParameterError(f"unknown lp_scoring {convention!r}")
+    return convention
+
+
+def edge_feature_scores(embedder: Embedder, split: LinkPredictionSplit,
+                        src: np.ndarray, dst: np.ndarray, *,
+                        seed=None, reg: float = 1.0) -> np.ndarray:
+    """Paper's edge-features protocol: LR on concatenated embeddings."""
+    rng = ensure_rng(seed)
+    train_graph = split.train_graph
+    features = embedder.node_features()
+
+    num_test = len(split.pos_src) + len(split.neg_src)
+    num_pos = max(1, num_test // 2)
+    e_src, e_dst = train_graph.edges()
+    if len(e_src) == 0:
+        raise ParameterError("training graph has no edges")
+    chosen = rng.choice(len(e_src), size=min(num_pos, len(e_src)),
+                        replace=False)
+    pos_src, pos_dst = e_src[chosen], e_dst[chosen]
+    # negatives must avoid both observed and held-out edges
+    held = split.pos_src * np.int64(train_graph.num_nodes) + split.pos_dst
+    neg_src, neg_dst = sample_non_edges(train_graph, len(pos_src), seed=rng,
+                                        forbidden_keys=np.sort(held))
+
+    train_x = np.vstack([concat_features(features, pos_src, pos_dst),
+                         concat_features(features, neg_src, neg_dst)])
+    train_y = np.concatenate([np.ones(len(pos_src)), np.zeros(len(neg_src))])
+    model = LogisticRegression(reg=reg).fit(train_x, train_y)
+    return model.decision_function(concat_features(features, src, dst))
+
+
+def score_test_pairs(embedder: Embedder, split: LinkPredictionSplit, *,
+                     seed=None) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(scores, labels)`` for the split's test pairs."""
+    src, dst, labels = split.test_pairs
+    strategy = resolve_scoring(embedder, split.train_graph)
+    if strategy == "inner":
+        return embedder.score_pairs(src, dst), labels
+    return edge_feature_scores(embedder, split, src, dst, seed=seed), labels

@@ -1,0 +1,10 @@
+"""Random-walk substrate: alias sampling, walk engines, corpus building."""
+
+from .alias import AliasSampler
+from .corpus import cooccurrence_counts, skipgram_pairs
+from .engine import PAD, ppr_walks, uniform_walks, walk_starts
+from .node2vec import node2vec_walks
+
+__all__ = ["AliasSampler", "PAD", "uniform_walks", "ppr_walks",
+           "walk_starts", "node2vec_walks", "skipgram_pairs",
+           "cooccurrence_counts"]

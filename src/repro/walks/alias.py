@@ -1,0 +1,51 @@
+"""Alias-method sampling: O(1) draws from a fixed discrete distribution.
+
+Used by LINE's edge sampling and the noise distributions of every SGNS
+trainer (negative sampling proportional to degree^0.75).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..rng import ensure_rng
+
+__all__ = ["AliasSampler"]
+
+
+class AliasSampler:
+    """Walker's alias table over ``len(weights)`` outcomes."""
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or len(weights) == 0:
+            raise ParameterError("weights must be a nonempty 1-D array")
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ParameterError("weights must be nonnegative with positive sum")
+        n = len(weights)
+        prob = weights * n / weights.sum()
+        self.prob = np.ones(n)
+        self.alias = np.arange(n)
+        small = [i for i in range(n) if prob[i] < 1.0]
+        large = [i for i in range(n) if prob[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self.prob[s] = prob[s]
+            self.alias[s] = l
+            prob[l] = prob[l] - (1.0 - prob[s])
+            if prob[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        # leftovers are 1.0 up to float error
+        for i in small + large:
+            self.prob[i] = 1.0
+
+    def sample(self, size: int, seed=None) -> np.ndarray:
+        """Draw ``size`` outcomes (vectorized)."""
+        rng = ensure_rng(seed)
+        idx = rng.integers(0, len(self.prob), size=size)
+        accept = rng.random(size) < self.prob[idx]
+        return np.where(accept, idx, self.alias[idx])

@@ -1,0 +1,53 @@
+"""Turn walk matrices into skip-gram training pairs / co-occurrence counts."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import ParameterError
+from .engine import PAD
+
+__all__ = ["skipgram_pairs", "cooccurrence_counts"]
+
+
+def skipgram_pairs(walks: np.ndarray, window: int, *,
+                   directed_context: bool = False,
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """All (center, context) pairs within ``window`` hops along each walk.
+
+    ``directed_context=True`` keeps only forward contexts (center earlier
+    in the walk than context) — APP's asymmetric sampling; otherwise both
+    directions are emitted, as in DeepWalk/node2vec.
+    """
+    if window < 1:
+        raise ParameterError("window must be >= 1")
+    walks = np.asarray(walks, dtype=np.int64)
+    centers: list[np.ndarray] = []
+    contexts: list[np.ndarray] = []
+    length = walks.shape[1]
+    for offset in range(1, window + 1):
+        if offset >= length:
+            break
+        left = walks[:, :-offset].ravel()
+        right = walks[:, offset:].ravel()
+        ok = (left != PAD) & (right != PAD)
+        centers.append(left[ok])
+        contexts.append(right[ok])
+        if not directed_context:
+            centers.append(right[ok])
+            contexts.append(left[ok])
+    if not centers:
+        return (np.empty(0, dtype=np.int64),) * 2
+    return np.concatenate(centers), np.concatenate(contexts)
+
+
+def cooccurrence_counts(walks: np.ndarray, window: int, num_nodes: int, *,
+                        directed_context: bool = False) -> sp.csr_matrix:
+    """Sparse ``(num_nodes, num_nodes)`` co-occurrence count matrix."""
+    centers, contexts = skipgram_pairs(walks, window,
+                                       directed_context=directed_context)
+    data = np.ones(len(centers), dtype=np.float64)
+    mat = sp.coo_matrix((data, (centers, contexts)),
+                        shape=(num_nodes, num_nodes))
+    return mat.tocsr()

@@ -1,0 +1,59 @@
+"""Shared fixtures: small deterministic graphs and embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (erdos_renyi, figure1_graph, from_edges,
+                         powerlaw_community)
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    """The paper's Figure-1 example graph (9 nodes, undirected)."""
+    return figure1_graph()
+
+
+@pytest.fixture(scope="session")
+def small_undirected():
+    """A 120-node community graph, undirected."""
+    graph, _ = powerlaw_community(120, 600, num_communities=4, seed=11)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def small_directed():
+    """A 150-node community graph, directed."""
+    graph, _ = powerlaw_community(150, 900, num_communities=5, directed=True,
+                                  seed=12)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def tiny_directed():
+    """A hand-built 6-node directed graph with known structure."""
+    edges = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (2, 0)]
+    src = [e[0] for e in edges]
+    dst = [e[1] for e in edges]
+    return from_edges(6, src, dst, directed=True)
+
+
+@pytest.fixture(scope="session")
+def er_graph():
+    """A 200-node Erdos-Renyi graph."""
+    return erdos_renyi(200, 800, seed=5)
+
+
+@pytest.fixture()
+def random_embeddings():
+    """Matched (X, Y) embedding pair plus weights for reweighting tests."""
+    rng = np.random.default_rng(42)
+    n, k = 30, 6
+    x = rng.standard_normal((n, k)) * 0.3
+    y = rng.standard_normal((n, k)) * 0.3
+    w_fwd = rng.uniform(0.5, 3.0, size=n)
+    w_bwd = rng.uniform(0.5, 3.0, size=n)
+    d_out = rng.integers(1, 10, size=n).astype(np.float64)
+    d_in = rng.integers(1, 10, size=n).astype(np.float64)
+    return x, y, w_fwd, w_bwd, d_out, d_in

@@ -1,0 +1,81 @@
+"""Tests for the attributed-graph NRP extension (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attributed import AttributedNRP, augment_with_attributes
+from repro.errors import DimensionError
+from repro.graph import from_edges
+
+
+def _attr_graph():
+    # two 3-cliques connected by one bridge edge
+    g = from_edges(6, [0, 1, 2, 3, 4, 5, 2],
+                   [1, 2, 0, 4, 5, 3, 3], directed=False)
+    # attribute 0 shared by nodes {0, 5} across the two cliques
+    attrs = np.zeros((6, 2), dtype=int)
+    attrs[[0, 5], 0] = 1
+    attrs[[1, 4], 1] = 1
+    return g, attrs
+
+
+def test_augmentation_adds_attribute_nodes():
+    g, attrs = _attr_graph()
+    aug = augment_with_attributes(g, attrs)
+    assert aug.num_nodes == 8
+    assert aug.has_edge(0, 6) and aug.has_edge(5, 6)
+    assert aug.has_edge(1, 7) and aug.has_edge(4, 7)
+    # original topology preserved
+    assert aug.has_edge(0, 1) and aug.has_edge(2, 3)
+
+
+def test_augmentation_directed():
+    g = from_edges(3, [0, 1], [1, 2], directed=True)
+    attrs = np.array([[1], [0], [1]])
+    aug = augment_with_attributes(g, attrs)
+    assert aug.directed
+    assert aug.has_arc(0, 3) and aug.has_arc(3, 0)
+    assert aug.has_arc(2, 3) and aug.has_arc(3, 2)
+    assert aug.has_arc(0, 1) and not aug.has_arc(1, 0)
+
+
+def test_augmentation_rejects_bad_shape():
+    g, _ = _attr_graph()
+    with pytest.raises(DimensionError):
+        augment_with_attributes(g, np.ones((4, 2)))
+
+
+def test_attributed_nrp_shapes():
+    g, attrs = _attr_graph()
+    model = AttributedNRP(dim=8, attributes=attrs, svd="exact",
+                          lam=0.1, seed=0).fit(g)
+    assert model.forward_.shape == (6, 4)
+    assert model.attribute_forward_.shape == (2, 4)
+    assert np.all(np.isfinite(model.node_features()))
+
+
+def test_shared_attribute_raises_cross_clique_proximity():
+    """Nodes sharing an attribute gain proximity over equal-role peers."""
+    g, _ = _attr_graph()
+    # a single attribute shared by node 0 (clique A) and node 5 (clique B)
+    attrs = np.zeros((6, 1), dtype=int)
+    attrs[[0, 5], 0] = 1
+    plain = AttributedNRP(dim=12, attributes=np.zeros((6, 1), dtype=int),
+                          svd="exact", lam=0.1, seed=0).fit(g)
+    attributed = AttributedNRP(dim=12, attributes=attrs, svd="exact",
+                               lam=0.1, seed=0).fit(g)
+
+    def gap(model):
+        # proximity of the attribute-sharing pair (0, 5) relative to the
+        # structurally comparable non-sharing pair (0, 4)
+        return (model.score_pairs([0], [5])[0]
+                - model.score_pairs([0], [4])[0])
+
+    assert gap(attributed) > gap(plain)
+
+
+def test_attribute_rows_must_match_nodes():
+    g, attrs = _attr_graph()
+    model = AttributedNRP(dim=8, attributes=attrs[:4], seed=0)
+    with pytest.raises(DimensionError):
+        model.fit(g)

@@ -1,0 +1,108 @@
+"""Tests for the dataset registry and evolving-graph analogues."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (EVOLVING_SPECS, dataset_names,
+                            evolving_dataset_names, format_dataset_table,
+                            load_dataset, load_evolving_dataset)
+from repro.errors import ParameterError
+
+
+def test_dataset_names_match_paper_roster():
+    assert dataset_names() == ["wiki_sim", "blog_sim", "youtube_sim",
+                               "tweibo_sim", "orkut_sim", "twitter_sim",
+                               "friendster_sim"]
+
+
+def test_wiki_sim_properties():
+    data = load_dataset("wiki_sim", scale=0.25)
+    assert data.graph.directed
+    assert data.membership is not None
+    assert data.membership.shape[0] == data.graph.num_nodes
+    assert data.num_labels == 20
+
+
+def test_blog_sim_undirected():
+    data = load_dataset("blog_sim", scale=0.2)
+    assert not data.graph.directed
+    assert data.membership is not None
+
+
+def test_twitter_sim_unlabeled():
+    data = load_dataset("twitter_sim", scale=0.02)
+    assert data.graph.directed
+    assert data.membership is None
+    assert data.num_labels == 0
+
+
+def test_scaling_changes_size():
+    small = load_dataset("wiki_sim", scale=0.1)
+    big = load_dataset("wiki_sim", scale=0.3)
+    assert big.graph.num_nodes > small.graph.num_nodes
+    assert big.graph.num_edges > small.graph.num_edges
+
+
+def test_dataset_cache_returns_same_object():
+    a = load_dataset("wiki_sim", scale=0.1)
+    b = load_dataset("wiki_sim", scale=0.1)
+    assert a is b
+
+
+def test_unknown_dataset():
+    with pytest.raises(ParameterError):
+        load_dataset("imaginary_graph")
+
+
+def test_bad_scale():
+    with pytest.raises(ParameterError):
+        load_dataset("wiki_sim", scale=0.0)
+
+
+def test_membership_every_node_labeled():
+    data = load_dataset("blog_sim", scale=0.1)
+    assert np.all(data.membership.sum(axis=1) >= 1)
+
+
+def test_format_dataset_table_mentions_paper_sizes():
+    table = format_dataset_table(scale=0.05)
+    assert "wiki_sim" in table
+    assert "1.2B" in table          # paper's Twitter edge count
+    assert "directed" in table and "undirected" in table
+
+
+def test_evolving_names():
+    assert evolving_dataset_names() == ["vk_sim", "digg_sim"]
+    assert set(EVOLVING_SPECS) == {"vk_sim", "digg_sim"}
+
+
+def test_evolving_vk_undirected_digg_directed():
+    vk = load_evolving_dataset("vk_sim", scale=0.05)
+    digg = load_evolving_dataset("digg_sim", scale=0.05)
+    assert not vk.old_graph.directed
+    assert digg.old_graph.directed
+
+
+def test_evolving_new_edges_not_in_old(scale=0.05):
+    data = load_evolving_dataset("vk_sim", scale=scale)
+    for u, v in zip(data.new_src[:100].tolist(), data.new_dst[:100].tolist()):
+        assert not data.old_graph.has_edge(u, v)
+
+
+def test_evolving_new_edges_triadic_bias():
+    """Future edges have far more common neighbors than random pairs."""
+    data = load_evolving_dataset("vk_sim", scale=0.2)
+    g = data.old_graph
+    cn = (g.adjacency() @ g.adjacency()).toarray()
+    new_cn = np.mean([cn[u, v] for u, v
+                      in zip(data.new_src[:300], data.new_dst[:300])])
+    rng = np.random.default_rng(0)
+    rand_cn = np.mean([cn[rng.integers(0, g.num_nodes),
+                          rng.integers(0, g.num_nodes)]
+                       for _ in range(300)])
+    assert new_cn > 2.0 * rand_cn
+
+
+def test_unknown_evolving_dataset():
+    with pytest.raises(ParameterError):
+        load_evolving_dataset("myspace_sim")

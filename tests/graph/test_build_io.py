@@ -1,0 +1,79 @@
+"""Tests for graph constructors and edge-list IO."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (from_edges, from_scipy, read_edge_list,
+                         write_edge_list)
+
+
+def test_from_edges_dedup():
+    g = from_edges(4, [0, 0, 0], [1, 1, 2], directed=True)
+    assert g.num_arcs == 2
+    assert g.out_neighbors(0).tolist() == [1, 2]
+
+
+def test_from_edges_drops_self_loops():
+    g = from_edges(3, [0, 1], [0, 2], directed=True)
+    assert g.num_arcs == 1
+    assert g.has_arc(1, 2)
+
+
+def test_from_edges_keeps_self_loops_when_asked():
+    g = from_edges(3, [0], [0], directed=True, drop_self_loops=False)
+    assert g.has_arc(0, 0)
+
+
+def test_from_edges_symmetrizes_undirected():
+    g = from_edges(3, [0], [1], directed=False)
+    assert g.has_arc(0, 1) and g.has_arc(1, 0)
+    assert g.num_edges == 1
+
+
+def test_from_edges_rejects_out_of_range():
+    with pytest.raises(GraphFormatError):
+        from_edges(2, [0], [5], directed=True)
+
+
+def test_from_edges_rejects_mismatched_lengths():
+    with pytest.raises(GraphFormatError):
+        from_edges(3, [0, 1], [1], directed=True)
+
+
+def test_from_scipy_roundtrip(fig1):
+    g = from_scipy(fig1.adjacency(), directed=False)
+    assert np.array_equal(g.indptr, fig1.indptr)
+    assert np.array_equal(g.indices, fig1.indices)
+
+
+def test_from_scipy_rejects_nonsquare():
+    import scipy.sparse as sp
+    with pytest.raises(GraphFormatError):
+        from_scipy(sp.csr_matrix((2, 3)), directed=True)
+
+
+def test_edge_list_roundtrip(tmp_path, fig1):
+    path = tmp_path / "graph.txt"
+    write_edge_list(fig1, path)
+    g = read_edge_list(path, directed=False, num_nodes=9)
+    assert np.array_equal(g.indptr, fig1.indptr)
+    assert np.array_equal(g.indices, fig1.indices)
+
+
+def test_read_edge_list_from_stream():
+    g = read_edge_list(io.StringIO("# comment\n0 1\n1 2\n"), directed=True)
+    assert g.num_nodes == 3
+    assert g.has_arc(0, 1) and g.has_arc(1, 2)
+
+
+def test_read_edge_list_rejects_garbage():
+    with pytest.raises(GraphFormatError):
+        read_edge_list(io.StringIO("0 x\n"), directed=True)
+
+
+def test_read_edge_list_rejects_short_line():
+    with pytest.raises(GraphFormatError):
+        read_edge_list(io.StringIO("42\n"), directed=True)

@@ -1,0 +1,123 @@
+"""Unit tests for the CSR Graph class."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import Graph, from_edges
+
+
+def test_num_nodes_edges_undirected(fig1):
+    assert fig1.num_nodes == 9
+    assert fig1.num_edges == 12
+    assert fig1.num_arcs == 24
+    assert not fig1.directed
+
+
+def test_degree_sequence_matches_paper(fig1):
+    # Example 2 initializes forward weights to d_out = [3,3,4,3,4,2,2,2,1]
+    assert fig1.out_degrees.tolist() == [3, 3, 4, 3, 4, 2, 2, 2, 1]
+    assert fig1.in_degrees.tolist() == fig1.out_degrees.tolist()
+
+
+def test_out_neighbors_sorted(fig1):
+    for v in range(fig1.num_nodes):
+        row = fig1.out_neighbors(v)
+        assert np.all(np.diff(row) > 0)
+
+
+def test_has_edge_and_arc(fig1):
+    assert fig1.has_edge(0, 1)
+    assert fig1.has_edge(1, 0)          # undirected: order-insensitive
+    assert not fig1.has_edge(1, 3)      # the (v2, v4) non-edge of the paper
+    assert not fig1.has_edge(0, 0)
+
+
+def test_directed_has_arc(tiny_directed):
+    assert tiny_directed.has_arc(0, 1)
+    assert not tiny_directed.has_arc(1, 0)
+    assert tiny_directed.has_edge(2, 0) and tiny_directed.has_arc(0, 2)
+
+
+def test_in_degrees_directed(tiny_directed):
+    src, dst = tiny_directed.arcs()
+    expect = np.bincount(dst, minlength=6)
+    assert tiny_directed.in_degrees.tolist() == expect.tolist()
+
+
+def test_arcs_roundtrip(fig1):
+    src, dst = fig1.arcs()
+    rebuilt = from_edges(9, *fig1.edges(), directed=False)
+    assert np.array_equal(rebuilt.indptr, fig1.indptr)
+    assert np.array_equal(rebuilt.indices, fig1.indices)
+    assert len(src) == fig1.num_arcs
+
+
+def test_edges_unique_undirected(fig1):
+    src, dst = fig1.edges()
+    assert len(src) == 12
+    assert np.all(src <= dst)
+
+
+def test_adjacency_symmetric_for_undirected(fig1):
+    a = fig1.adjacency()
+    assert (a != a.T).nnz == 0
+
+
+def test_transition_matrix_rows_sum_to_one(fig1):
+    p = fig1.transition_matrix()
+    rows = np.asarray(p.sum(axis=1)).ravel()
+    assert np.allclose(rows, 1.0)
+
+
+def test_transition_matrix_dangling_rows_zero():
+    g = from_edges(3, [0], [1], directed=True)   # node 1, 2 dangling
+    p = g.transition_matrix()
+    rows = np.asarray(p.sum(axis=1)).ravel()
+    assert rows[0] == pytest.approx(1.0)
+    assert rows[1] == 0.0 and rows[2] == 0.0
+
+
+def test_out_degree_inverse_handles_dangling():
+    g = from_edges(3, [0], [1], directed=True)
+    inv = g.out_degree_inverse()
+    assert inv[0] == pytest.approx(1.0)
+    assert inv[1] == 0.0
+
+
+def test_transpose_reverses_arcs(tiny_directed):
+    t = tiny_directed.transpose()
+    src, dst = tiny_directed.arcs()
+    for u, v in zip(src.tolist(), dst.tolist()):
+        assert t.has_arc(v, u)
+    assert t.num_arcs == tiny_directed.num_arcs
+
+
+def test_transpose_of_undirected_is_self(fig1):
+    assert fig1.transpose() is fig1
+
+
+def test_transpose_cached(tiny_directed):
+    assert tiny_directed.transpose() is tiny_directed.transpose()
+
+
+def test_as_undirected(tiny_directed):
+    und = tiny_directed.as_undirected()
+    assert not und.directed
+    a = und.adjacency()
+    assert (a != a.T).nnz == 0
+    # every original arc survives as an undirected edge
+    src, dst = tiny_directed.arcs()
+    for u, v in zip(src.tolist(), dst.tolist()):
+        assert und.has_edge(u, v)
+
+
+def test_validate_rejects_bad_indptr():
+    with pytest.raises(GraphFormatError):
+        Graph(np.array([0, 2, 1]), np.array([1, 0]), directed=True,
+              validate=True)
+
+
+def test_validate_rejects_out_of_range():
+    with pytest.raises(GraphFormatError):
+        Graph(np.array([0, 1]), np.array([5]), directed=True, validate=True)

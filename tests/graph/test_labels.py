@@ -1,0 +1,57 @@
+"""Tests for community-correlated label generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import community_labels, labels_to_membership
+
+
+def test_membership_shape_and_nonempty():
+    comm = np.repeat([0, 1, 2], 40)
+    mem = community_labels(comm, 10, seed=0)
+    assert mem.shape == (120, 10)
+    assert np.all(mem.sum(axis=1) >= 1)
+
+
+def test_membership_binary():
+    comm = np.repeat([0, 1], 30)
+    mem = community_labels(comm, 5, seed=1)
+    assert set(np.unique(mem)) <= {0, 1}
+
+
+def test_labels_correlate_with_communities():
+    comm = np.repeat([0, 1, 2, 3], 50)
+    mem = community_labels(comm, 12, noise=0.05, seed=2)
+    # nodes of the same community should share labels far more often
+    same, diff = [], []
+    rng = np.random.default_rng(0)
+    for _ in range(400):
+        i, j = rng.integers(0, 200, size=2)
+        overlap = int((mem[i] & mem[j]).sum() > 0)
+        (same if comm[i] == comm[j] else diff).append(overlap)
+    assert np.mean(same) > np.mean(diff) + 0.2
+
+
+def test_labels_deterministic():
+    comm = np.repeat([0, 1], 25)
+    a = community_labels(comm, 6, seed=3)
+    b = community_labels(comm, 6, seed=3)
+    assert np.array_equal(a, b)
+
+
+def test_rejects_single_label():
+    with pytest.raises(ParameterError):
+        community_labels(np.zeros(10, dtype=int), 1)
+
+
+def test_labels_to_membership():
+    mem = labels_to_membership(np.array([0, 2, 1]), 3)
+    assert mem.shape == (3, 3)
+    assert mem.sum() == 3
+    assert mem[1, 2] == 1
+
+
+def test_labels_to_membership_infers_count():
+    mem = labels_to_membership(np.array([0, 4]))
+    assert mem.shape == (2, 5)

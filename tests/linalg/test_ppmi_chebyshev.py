@@ -1,0 +1,149 @@
+"""Tests for PPMI transforms, Chebyshev filters, and sparse SVD wrappers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ParameterError
+from repro.linalg import (apply_chebyshev_filter, chebyshev_coefficients,
+                          deepwalk_matrix_dense, gaussian_projection,
+                          orthogonal_projection, ppmi_dense, ppmi_sparse,
+                          sparse_eigsh, sparse_svd)
+
+
+# ---------------------------------------------------------------- PPMI
+def test_ppmi_dense_matches_definition():
+    counts = np.array([[4.0, 0.0], [1.0, 3.0]])
+    out = ppmi_dense(counts)
+    total = counts.sum()
+    expect = np.log(4 * total / (4 * 5))
+    assert out[0, 0] == pytest.approx(max(expect, 0.0))
+    assert out[0, 1] == 0.0                     # zero count -> clipped
+
+
+def test_ppmi_dense_nonnegative():
+    rng = np.random.default_rng(0)
+    counts = rng.integers(0, 10, size=(20, 20)).astype(float)
+    assert np.all(ppmi_dense(counts) >= 0.0)
+
+
+def test_ppmi_shift_reduces_values():
+    counts = np.array([[5.0, 1.0], [1.0, 5.0]])
+    assert ppmi_dense(counts, shift=5.0).sum() < ppmi_dense(counts).sum()
+
+
+def test_ppmi_sparse_matches_dense():
+    rng = np.random.default_rng(1)
+    counts = rng.integers(0, 4, size=(30, 30)).astype(float)
+    dense = ppmi_dense(counts)
+    sparse = ppmi_sparse(sp.csr_matrix(counts)).toarray()
+    np.testing.assert_allclose(sparse, dense, atol=1e-12)
+
+
+def test_ppmi_empty_matrix():
+    assert ppmi_dense(np.zeros((3, 3))).sum() == 0.0
+    assert ppmi_sparse(sp.csr_matrix((3, 3))).nnz == 0
+
+
+def test_ppmi_rejects_bad_shift():
+    with pytest.raises(ParameterError):
+        ppmi_dense(np.ones((2, 2)), shift=0.0)
+
+
+def test_deepwalk_matrix_shape(fig1):
+    m = deepwalk_matrix_dense(fig1.adjacency(), window=3)
+    assert m.shape == (9, 9)
+    assert np.all(m >= 0)
+
+
+# ----------------------------------------------------------- Chebyshev
+def test_chebyshev_coefficients_constant():
+    coeffs = chebyshev_coefficients(lambda x: np.ones_like(x), 5, (0, 2))
+    assert coeffs[0] == pytest.approx(2.0)      # c0/2 = 1
+    np.testing.assert_allclose(coeffs[1:], 0.0, atol=1e-12)
+
+
+def test_chebyshev_filter_matches_dense_eigendecomposition(fig1):
+    a = fig1.adjacency()
+    deg = np.asarray(a.sum(axis=1)).ravel()
+    inv = sp.diags(1.0 / np.sqrt(deg))
+    lap = sp.identity(9) - inv @ a @ inv
+    lap_dense = lap.toarray()
+    vals, vecs = np.linalg.eigh(lap_dense)
+
+    def heat(lam):
+        return np.exp(-0.7 * lam)
+
+    exact = vecs @ np.diag(heat(vals)) @ vecs.T
+    coeffs = chebyshev_coefficients(heat, 30, (0.0, 2.0))
+    signal = np.eye(9)
+    approx = apply_chebyshev_filter(lambda v: lap @ v, signal, coeffs,
+                                    (0.0, 2.0))
+    np.testing.assert_allclose(approx, exact, atol=1e-8)
+
+
+def test_chebyshev_filter_identity_function(fig1):
+    lap = sp.identity(9) * 0.5
+    coeffs = chebyshev_coefficients(lambda x: x, 8, (0.0, 2.0))
+    signal = np.random.default_rng(0).standard_normal((9, 3))
+    out = apply_chebyshev_filter(lambda v: lap @ v, signal, coeffs, (0.0, 2.0))
+    np.testing.assert_allclose(out, 0.5 * signal, atol=1e-10)
+
+
+def test_chebyshev_rejects_bad_interval():
+    with pytest.raises(ParameterError):
+        chebyshev_coefficients(np.exp, 4, (2.0, 2.0))
+
+
+# ------------------------------------------------------------ wrappers
+def test_sparse_svd_descending_and_deterministic(fig1):
+    a = fig1.adjacency()
+    u1, s1, v1 = sparse_svd(a, 4, seed=0)
+    u2, s2, v2 = sparse_svd(a, 4, seed=0)
+    assert np.all(np.diff(s1) <= 0)
+    np.testing.assert_array_equal(s1, s2)
+    np.testing.assert_array_equal(u1, u2)
+
+
+def test_sparse_svd_values_match_dense(fig1):
+    a = fig1.adjacency()
+    _, s, _ = sparse_svd(a, 4, seed=0)
+    dense_s = np.linalg.svd(a.toarray(), compute_uv=False)
+    np.testing.assert_allclose(s, dense_s[:4], rtol=1e-8)
+
+
+def test_sparse_eigsh_matches_dense(fig1):
+    a = fig1.adjacency()
+    vals, vecs = sparse_eigsh(a, 3, which="LA", seed=0)
+    dense_vals = np.sort(np.linalg.eigvalsh(a.toarray()))[::-1]
+    np.testing.assert_allclose(vals, dense_vals[:3], rtol=1e-8)
+    # eigenvector property
+    np.testing.assert_allclose(a @ vecs, vecs * vals, atol=1e-8)
+
+
+def test_sparse_svd_rejects_full_rank():
+    with pytest.raises(ParameterError):
+        sparse_svd(sp.identity(4, format="csr"), 4)
+
+
+# --------------------------------------------------------- projections
+def test_gaussian_projection_shape_and_norm():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((500, 50))
+    proj = gaussian_projection(x, 25, seed=1)
+    assert proj.shape == (500, 25)
+    # JL: squared norms preserved in expectation (loose check)
+    ratio = np.linalg.norm(proj, axis=1) / np.linalg.norm(x, axis=1)
+    assert 0.6 < np.median(ratio) < 1.4
+
+
+def test_orthogonal_projection_columns_orthonormal_map():
+    x = np.eye(40)
+    proj = orthogonal_projection(x, 10, seed=2)
+    gram = proj.T @ proj
+    np.testing.assert_allclose(gram, np.eye(10), atol=1e-10)
+
+
+def test_projection_rejects_bad_dim():
+    with pytest.raises(ParameterError):
+        gaussian_projection(np.eye(3), 0)

@@ -1,0 +1,54 @@
+"""Tests for the shared Embedder interface."""
+
+import numpy as np
+import pytest
+
+from repro.core import NRP, ApproxPPREmbedder
+from repro.errors import ParameterError, ReproError
+
+
+def test_node_features_normalized_halves(small_undirected):
+    model = NRP(dim=16, svd="exact", seed=0).fit(small_undirected)
+    feats = model.node_features()
+    fwd_norms = np.linalg.norm(feats[:, :8], axis=1)
+    bwd_norms = np.linalg.norm(feats[:, 8:], axis=1)
+    ok = fwd_norms > 1e-9
+    np.testing.assert_allclose(fwd_norms[ok], 1.0, atol=1e-9)
+    np.testing.assert_allclose(bwd_norms[ok], 1.0, atol=1e-9)
+
+
+def test_score_all_from_matches_score_pairs(small_undirected):
+    model = NRP(dim=16, svd="exact", seed=0).fit(small_undirected)
+    u = 5
+    all_scores = model.score_all_from(u)
+    some = np.array([0, 3, 9, 20])
+    np.testing.assert_allclose(all_scores[some],
+                               model.score_pairs([u] * 4, some), rtol=1e-12)
+
+
+def test_directional_dim_must_be_even():
+    with pytest.raises(ParameterError):
+        NRP(dim=7)
+    with pytest.raises(ParameterError):
+        ApproxPPREmbedder(dim=9)
+
+
+def test_dim_minimum():
+    with pytest.raises(ParameterError):
+        NRP(dim=0)
+
+
+def test_unfitted_node_features_raises():
+    with pytest.raises(ReproError):
+        ApproxPPREmbedder(dim=8).node_features()
+
+
+def test_score_pairs_accepts_lists(small_undirected):
+    model = ApproxPPREmbedder(dim=8, svd="exact",
+                              seed=0).fit(small_undirected)
+    out = model.score_pairs([0, 1], [2, 3])
+    assert out.shape == (2,)
+
+
+def test_repr_contains_dim():
+    assert "16" in repr(NRP(dim=16))

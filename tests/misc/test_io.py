@@ -1,0 +1,48 @@
+"""Tests for embedding persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import NRP
+from repro.baselines import make_embedder
+from repro.errors import ReproError
+from repro.io import load_embeddings, save_embeddings
+
+
+def test_roundtrip_directional(tmp_path, small_undirected):
+    model = NRP(dim=16, svd="exact", seed=0).fit(small_undirected)
+    path = tmp_path / "nrp.npz"
+    save_embeddings(model, path, metadata={"dataset": "test"})
+    bundle = load_embeddings(path)
+    assert bundle.name == "NRP"
+    assert bundle.directional
+    np.testing.assert_array_equal(bundle.forward_, model.forward_)
+    np.testing.assert_array_equal(bundle.backward_, model.backward_)
+    assert bundle.metadata["dataset"] == "test"
+    np.testing.assert_array_equal(bundle.metadata["w_fwd"], model.w_fwd_)
+
+
+def test_roundtrip_single_vector(tmp_path, small_undirected):
+    model = make_embedder("randne", 16, seed=0).fit(small_undirected)
+    path = tmp_path / "randne.npz"
+    save_embeddings(model, path)
+    bundle = load_embeddings(path)
+    assert not bundle.directional
+    np.testing.assert_array_equal(bundle.embedding_, model.embedding_)
+
+
+def test_loaded_bundle_scores_match(tmp_path, small_undirected):
+    model = NRP(dim=16, svd="exact", seed=0).fit(small_undirected)
+    path = tmp_path / "m.npz"
+    save_embeddings(model, path)
+    bundle = load_embeddings(path)
+    src, dst = np.array([0, 5]), np.array([3, 9])
+    np.testing.assert_allclose(bundle.score_pairs(src, dst),
+                               model.score_pairs(src, dst))
+    np.testing.assert_allclose(bundle.node_features(),
+                               model.node_features())
+
+
+def test_save_unfitted_raises(tmp_path):
+    with pytest.raises(ReproError):
+        save_embeddings(NRP(dim=8), tmp_path / "x.npz")

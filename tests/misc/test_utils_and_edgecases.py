@@ -1,0 +1,126 @@
+"""Utility-module tests and failure-injection edge cases."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core import NRP, ApproxPPRConfig, approx_ppr_embeddings
+from repro.errors import ParameterError
+from repro.graph import from_edges, link_prediction_split
+from repro.logging_utils import Timer, get_logger, timed
+from repro.ppr import ppr_row
+from repro.rng import ensure_rng, spawn_rngs
+
+
+# ------------------------------------------------------------------- rng
+def test_ensure_rng_from_int_deterministic():
+    a = ensure_rng(7).integers(0, 1000, 5)
+    b = ensure_rng(7).integers(0, 1000, 5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_ensure_rng_passthrough():
+    gen = np.random.default_rng(0)
+    assert ensure_rng(gen) is gen
+
+
+def test_spawn_rngs_independent():
+    rngs = spawn_rngs(3, 4)
+    assert len(rngs) == 4
+    draws = [r.integers(0, 2**32) for r in rngs]
+    assert len(set(draws)) == 4          # astronomically unlikely collision
+
+
+def test_spawn_rngs_deterministic():
+    a = [r.integers(0, 100) for r in spawn_rngs(1, 3)]
+    b = [r.integers(0, 100) for r in spawn_rngs(1, 3)]
+    assert a == b
+
+
+# ----------------------------------------------------------------- timing
+def test_timer_accumulates():
+    timer = Timer()
+    with timer:
+        pass
+    first = timer.elapsed
+    with timer:
+        sum(range(1000))
+    assert timer.elapsed >= first
+
+
+def test_timed_context_logs(caplog):
+    logger = get_logger("test")
+    with caplog.at_level(logging.DEBUG, logger="repro.test"):
+        with timed("unit-of-work", logger):
+            pass
+    assert any("unit-of-work" in r.message for r in caplog.records)
+
+
+def test_get_logger_hierarchy():
+    assert get_logger().name == "repro"
+    assert get_logger("sub").name == "repro.sub"
+
+
+# ----------------------------------------------------- degenerate graphs
+def test_graph_with_isolated_nodes_embeds():
+    # nodes 4, 5 have no edges at all
+    g = from_edges(6, [0, 1, 2], [1, 2, 3], directed=False)
+    model = NRP(dim=4, svd="exact", seed=0).fit(g)
+    assert np.all(np.isfinite(model.forward_))
+    # isolated nodes get (near-)zero forward embeddings
+    assert np.abs(model.forward_[4]).sum() < 1e-9
+
+
+def test_star_graph_hub_gets_large_weight():
+    center_to_leaves = list(range(1, 9))
+    g = from_edges(9, [0] * 8, center_to_leaves, directed=False)
+    model = NRP(dim=4, svd="exact", lam=0.01, seed=0).fit(g)
+    assert model.w_fwd_[0] > model.w_fwd_[1]
+
+
+def test_two_node_graph():
+    g = from_edges(2, [0], [1], directed=False)
+    row = ppr_row(g, 0, 0.15)
+    assert row.sum() == pytest.approx(1.0)
+    x, y = approx_ppr_embeddings(g, ApproxPPRConfig(k_prime=1, svd="exact"))
+    assert x.shape == (2, 1)
+
+
+def test_directed_cycle_uniform_ppr():
+    n = 5
+    g = from_edges(n, list(range(n)), [(i + 1) % n for i in range(n)],
+                   directed=True)
+    # by symmetry, all nodes have identical PPR mass profiles (rotated)
+    r0 = ppr_row(g, 0, 0.3)
+    r1 = ppr_row(g, 1, 0.3)
+    np.testing.assert_allclose(r0, np.roll(r1, -1), atol=1e-12)
+
+
+def test_split_fails_gracefully_on_tiny_graph():
+    g = from_edges(3, [0], [1], directed=False)
+    with pytest.raises(ParameterError):
+        link_prediction_split(g, test_fraction=0.9, seed=0)
+
+
+def test_dense_clique_embedding_symmetric():
+    n = 6
+    src = [i for i in range(n) for j in range(n) if i < j]
+    dst = [j for i in range(n) for j in range(n) if i < j]
+    g = from_edges(n, src, dst, directed=False)
+    model = NRP(dim=4, svd="exact", lam=0.1, seed=0).fit(g)
+    # all nodes are equivalent; the rank-k' truncation breaks the symmetry
+    # slightly, so require near-equality (1% relative spread)
+    assert model.w_fwd_.std() / model.w_fwd_.mean() < 0.01
+    assert model.w_bwd_.std() / model.w_bwd_.mean() < 0.01
+
+
+def test_nrp_on_disconnected_components():
+    # two disjoint triangles
+    g = from_edges(6, [0, 1, 2, 3, 4, 5], [1, 2, 0, 4, 5, 3],
+                   directed=False)
+    model = NRP(dim=4, svd="exact", lam=0.1, seed=0).fit(g)
+    # cross-component proximity must be ~0, intra-component positive
+    intra = model.score_pairs([0], [1])[0]
+    inter = model.score_pairs([0], [3])[0]
+    assert intra > abs(inter)

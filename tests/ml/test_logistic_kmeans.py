@@ -1,0 +1,136 @@
+"""Tests for logistic regression, preprocessing, and k-means."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, ParameterError
+from repro.ml import (LogisticRegression, OneVsRestLogistic, concat_features,
+                      hadamard_features, normalize_rows, standardize_columns)
+from repro.ml.kmeans import kmeans
+
+
+# --------------------------------------------------------------- logistic
+def _separable_data(seed=0, n=200):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 2))
+    y = (x[:, 0] + 2 * x[:, 1] > 0).astype(float)
+    return x, y
+
+
+def test_logistic_fits_separable_data():
+    x, y = _separable_data()
+    model = LogisticRegression(reg=0.01).fit(x, y)
+    assert (model.predict(x) == y).mean() > 0.97
+
+
+def test_logistic_probabilities_calibrated_direction():
+    x, y = _separable_data(1)
+    model = LogisticRegression().fit(x, y)
+    probs = model.predict_proba(x)
+    assert probs[y == 1].mean() > probs[y == 0].mean() + 0.3
+
+
+def test_logistic_regularization_shrinks_weights():
+    x, y = _separable_data(2)
+    loose = LogisticRegression(reg=0.001).fit(x, y)
+    tight = LogisticRegression(reg=100.0).fit(x, y)
+    assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+
+def test_logistic_requires_fit():
+    with pytest.raises(ParameterError):
+        LogisticRegression().decision_function(np.ones((2, 2)))
+
+
+def test_logistic_rejects_mismatched_inputs():
+    with pytest.raises(DimensionError):
+        LogisticRegression().fit(np.ones((3, 2)), np.ones(4))
+
+
+def test_logistic_rejects_negative_reg():
+    with pytest.raises(ParameterError):
+        LogisticRegression(reg=-1.0)
+
+
+def test_one_vs_rest_multilabel():
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal((300, 4))
+    membership = np.stack([(x[:, 0] > 0), (x[:, 1] > 0.2),
+                           (x[:, 2] + x[:, 3] > 0)], axis=1).astype(int)
+    model = OneVsRestLogistic(reg=0.1).fit(x, membership)
+    probs = model.predict_proba(x)
+    assert probs.shape == (300, 3)
+    # per-label ranking quality
+    for j in range(3):
+        pos = probs[membership[:, j] == 1, j].mean()
+        neg = probs[membership[:, j] == 0, j].mean()
+        assert pos > neg + 0.2
+
+
+def test_one_vs_rest_constant_label():
+    x = np.random.default_rng(4).standard_normal((20, 3))
+    membership = np.zeros((20, 2), dtype=int)
+    membership[:, 0] = 1          # constant positive, constant negative
+    model = OneVsRestLogistic().fit(x, membership)
+    probs = model.predict_proba(x)
+    np.testing.assert_allclose(probs[:, 0], 1.0)
+    np.testing.assert_allclose(probs[:, 1], 0.0)
+
+
+def test_one_vs_rest_requires_fit():
+    with pytest.raises(ParameterError):
+        OneVsRestLogistic().predict_proba(np.ones((2, 2)))
+
+
+# ----------------------------------------------------------- preprocessing
+def test_normalize_rows_unit_norm():
+    x = np.array([[3.0, 4.0], [0.0, 0.0]])
+    out = normalize_rows(x)
+    assert np.linalg.norm(out[0]) == pytest.approx(1.0)
+    np.testing.assert_array_equal(out[1], [0.0, 0.0])
+
+
+def test_standardize_columns():
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal((100, 3)) * [1, 10, 100] + [5, -3, 0]
+    out = standardize_columns(x)
+    np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-12)
+    np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-12)
+
+
+def test_edge_feature_builders():
+    feats = np.arange(12).reshape(4, 3).astype(float)
+    src = np.array([0, 1])
+    dst = np.array([2, 3])
+    cat = concat_features(feats, src, dst)
+    assert cat.shape == (2, 6)
+    np.testing.assert_array_equal(cat[0], [0, 1, 2, 6, 7, 8])
+    had = hadamard_features(feats, src, dst)
+    np.testing.assert_array_equal(had[0], feats[0] * feats[2])
+
+
+# ---------------------------------------------------------------- k-means
+def test_kmeans_recovers_clear_clusters():
+    rng = np.random.default_rng(6)
+    pts = np.vstack([rng.normal(0, 0.1, (50, 2)),
+                     rng.normal(5, 0.1, (50, 2))])
+    assign, centroids = kmeans(pts, 2, seed=0)
+    assert len(set(assign[:50])) == 1
+    assert len(set(assign[50:])) == 1
+    assert assign[0] != assign[50]
+
+
+def test_kmeans_centroids_are_means():
+    rng = np.random.default_rng(7)
+    pts = rng.standard_normal((60, 3))
+    assign, centroids = kmeans(pts, 4, seed=1)
+    for c in range(4):
+        members = pts[assign == c]
+        if len(members):
+            np.testing.assert_allclose(centroids[c], members.mean(axis=0),
+                                       atol=1e-9)
+
+
+def test_kmeans_rejects_bad_k():
+    with pytest.raises(ParameterError):
+        kmeans(np.ones((3, 2)), 5)

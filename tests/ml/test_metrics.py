@@ -1,0 +1,118 @@
+"""Tests for the from-scratch metrics, pinned against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError, ParameterError
+from repro.ml import accuracy, auc_score, macro_f1, micro_f1, precision_at_k
+
+
+def _brute_auc(labels, scores):
+    pos = scores[labels == 1]
+    neg = scores[labels == 0]
+    wins = ties = 0
+    for p in pos:
+        for q in neg:
+            wins += p > q
+            ties += p == q
+    return (wins + 0.5 * ties) / (len(pos) * len(neg))
+
+
+def test_auc_perfect_ranking():
+    assert auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+
+def test_auc_inverted_ranking():
+    assert auc_score([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+
+def test_auc_random_is_half():
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, 2, size=4000)
+    scores = rng.random(4000)
+    assert auc_score(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+
+def test_auc_handles_ties():
+    labels = np.array([1, 0, 1, 0])
+    scores = np.array([0.5, 0.5, 0.5, 0.5])
+    assert auc_score(labels, scores) == pytest.approx(0.5)
+
+
+@given(st.integers(1, 40), st.integers(1, 40), st.integers(0, 2 ** 30))
+@settings(max_examples=25, deadline=None)
+def test_auc_matches_bruteforce(num_pos, num_neg, seed):
+    rng = np.random.default_rng(seed)
+    labels = np.concatenate([np.ones(num_pos, int), np.zeros(num_neg, int)])
+    # quantized scores force tie handling
+    scores = rng.integers(0, 5, size=num_pos + num_neg).astype(float)
+    assert auc_score(labels, scores) == pytest.approx(
+        _brute_auc(labels, scores), abs=1e-12)
+
+
+def test_auc_requires_both_classes():
+    with pytest.raises(ParameterError):
+        auc_score([1, 1], [0.5, 0.6])
+
+
+def test_auc_rejects_mismatched_shapes():
+    with pytest.raises(DimensionError):
+        auc_score(np.ones(3), np.ones(4))
+
+
+def test_precision_at_k_basic():
+    labels = np.array([1, 0, 1, 0, 0])
+    scores = np.array([0.9, 0.8, 0.7, 0.2, 0.1])
+    assert precision_at_k(labels, scores, 1) == 1.0
+    assert precision_at_k(labels, scores, 2) == 0.5
+    assert precision_at_k(labels, scores, 3) == pytest.approx(2 / 3)
+
+
+def test_precision_at_k_exceeding_length():
+    labels = np.array([1, 0])
+    scores = np.array([0.5, 0.4])
+    # K > candidates: K stays in the denominator, as in the paper's plots
+    assert precision_at_k(labels, scores, 4) == pytest.approx(0.25)
+    assert precision_at_k(labels, scores, 2) == pytest.approx(0.5)
+
+
+def test_precision_at_k_rejects_bad_k():
+    with pytest.raises(ParameterError):
+        precision_at_k(np.array([1]), np.array([0.5]), 0)
+
+
+def test_micro_macro_f1_perfect():
+    true = np.array([[1, 0], [0, 1]])
+    assert micro_f1(true, true) == 1.0
+    assert macro_f1(true, true) == 1.0
+
+
+def test_micro_f1_matches_manual():
+    true = np.array([[1, 0, 1], [0, 1, 0], [1, 1, 0]])
+    pred = np.array([[1, 0, 0], [0, 1, 1], [1, 0, 0]])
+    tp, fp, fn = 3, 1, 2
+    assert micro_f1(true, pred) == pytest.approx(2 * tp / (2 * tp + fp + fn))
+
+
+def test_macro_f1_zero_support_label():
+    true = np.array([[1, 0], [1, 0]])
+    pred = np.array([[1, 0], [1, 0]])
+    # second label has no positives anywhere -> per-label F1 defined as 0
+    assert macro_f1(true, pred) == pytest.approx(0.5)
+
+
+def test_micro_f1_all_wrong():
+    true = np.array([[1, 0], [0, 1]])
+    pred = 1 - true
+    assert micro_f1(true, pred) == 0.0
+
+
+def test_f1_shape_mismatch():
+    with pytest.raises(DimensionError):
+        micro_f1(np.ones((2, 2)), np.ones((2, 3)))
+
+
+def test_accuracy():
+    assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 4])) == pytest.approx(2 / 3)

@@ -1,0 +1,183 @@
+"""Tests for the numpy neural substrate (layers, optim, AE, SGNS)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.neural import (ACTIVATIONS, SGD, Adam, Autoencoder, Dense, SGNS,
+                          unigram_noise)
+
+
+# ------------------------------------------------------------------ layers
+def test_dense_forward_shape():
+    layer = Dense(4, 3, "relu", seed=0)
+    out = layer.forward(np.ones((5, 4)))
+    assert out.shape == (5, 3)
+    assert np.all(out >= 0)
+
+
+def test_dense_gradient_check():
+    """Numerical gradient check of the dense layer backprop."""
+    rng = np.random.default_rng(0)
+    layer = Dense(3, 2, "tanh", seed=1)
+    x = rng.standard_normal((4, 3))
+    target = rng.standard_normal((4, 2))
+
+    def loss():
+        out = layer.forward(x)
+        return 0.5 * float(((out - target) ** 2).sum())
+
+    base = loss()
+    out = layer.forward(x)
+    layer.zero_grad()
+    grad_in = layer.backward(out - target)
+
+    eps = 1e-6
+    # check weight gradient entries
+    for i, j in [(0, 0), (2, 1), (1, 0)]:
+        layer.weight[i, j] += eps
+        up = loss()
+        layer.weight[i, j] -= eps
+        numeric = (up - base) / eps
+        assert numeric == pytest.approx(layer.grad_weight[i, j], rel=1e-3)
+    # check input gradient
+    x2 = x.copy()
+    x2[0, 1] += eps
+    out2 = layer.forward(x2)
+    up = 0.5 * float(((out2 - target) ** 2).sum())
+    numeric = (up - base) / eps
+    assert numeric == pytest.approx(grad_in[0, 1], rel=1e-3)
+
+
+def test_dense_rejects_unknown_activation():
+    with pytest.raises(ParameterError):
+        Dense(2, 2, "gelu-ish")
+
+
+def test_all_activations_defined():
+    assert set(ACTIVATIONS) == {"relu", "sigmoid", "tanh", "identity"}
+    for name, (fn, grad) in ACTIVATIONS.items():
+        z = np.linspace(-2, 2, 11)
+        out = fn(z)
+        g = grad(z, out)
+        assert out.shape == z.shape and g.shape == z.shape
+
+
+# ------------------------------------------------------------------- optim
+def test_sgd_step_direction():
+    value = np.array([1.0, -1.0])
+    grad = np.array([0.5, -0.5])
+    SGD(lr=0.1).step([(value, grad)])
+    np.testing.assert_allclose(value, [0.95, -0.95])
+
+
+def test_sgd_momentum_accumulates():
+    value = np.zeros(1)
+    opt = SGD(lr=0.1, momentum=0.9)
+    for _ in range(3):
+        opt.step([(value, np.ones(1))])
+    # velocity compounds: steps of 0.1, 0.19, 0.271
+    assert value[0] == pytest.approx(-(0.1 + 0.19 + 0.271))
+
+
+def test_adam_converges_on_quadratic():
+    value = np.array([5.0])
+    opt = Adam(lr=0.3)
+    for _ in range(200):
+        opt.step([(value, 2.0 * value)])
+    assert abs(value[0]) < 1e-2
+
+
+def test_optimizers_reject_bad_lr():
+    with pytest.raises(ParameterError):
+        SGD(lr=0.0)
+    with pytest.raises(ParameterError):
+        Adam(lr=-1.0)
+
+
+# ------------------------------------------------------------- autoencoder
+def test_autoencoder_reduces_loss():
+    rng = np.random.default_rng(0)
+    # low-rank data is compressible
+    data = rng.standard_normal((200, 3)) @ rng.standard_normal((3, 20))
+    data /= np.abs(data).max()           # keep tanh units in range
+    auto = Autoencoder(20, (10, 3), lr=1e-2, seed=1)
+    losses = auto.fit(data, epochs=80, seed=2)
+    assert losses[-1] < 0.5 * losses[0]
+
+
+def test_autoencoder_encode_shape():
+    auto = Autoencoder(16, (8, 4), seed=0)
+    codes = auto.encode(np.zeros((7, 16)))
+    assert codes.shape == (7, 4)
+
+
+def test_autoencoder_rejects_empty_hidden():
+    with pytest.raises(ParameterError):
+        Autoencoder(8, ())
+
+
+# -------------------------------------------------------------------- SGNS
+def test_sgns_separates_clustered_pairs():
+    """Pairs within two disjoint clusters must embed closer intra-cluster."""
+    rng = np.random.default_rng(0)
+    n = 20
+    centers, contexts = [], []
+    for _ in range(4000):
+        cluster = rng.integers(0, 2)
+        a, b = rng.integers(0, 10, size=2) + cluster * 10
+        centers.append(a)
+        contexts.append(b)
+    model = SGNS(n, 8, seed=1)
+    noise = unigram_noise(np.ones(n))
+    model.train(np.array(centers), np.array(contexts), noise=noise,
+                epochs=3, seed=2)
+    emb = model.input_vectors
+    intra = np.mean([emb[i] @ emb[j] for i in range(10) for j in range(10)
+                     if i != j])
+    inter = np.mean([emb[i] @ emb[j] for i in range(10)
+                     for j in range(10, 20)])
+    assert intra > inter
+
+
+def test_sgns_shared_tables_tied():
+    model = SGNS(5, 4, shared=True, seed=0)
+    assert model.input_vectors is model.output_vectors
+
+
+def test_sgns_learns_positive_pairs():
+    """After training, observed pairs must outscore random pairs."""
+    rng = np.random.default_rng(3)
+    centers = rng.integers(0, 10, size=5000)
+    contexts = (centers + 1) % 10
+    model = SGNS(10, 6, seed=4)
+    noise = unigram_noise(np.ones(10))
+    model.train(centers, contexts, noise=noise, epochs=4, seed=5)
+    w, c = model.input_vectors, model.output_vectors
+    pos = np.mean([w[i] @ c[(i + 1) % 10] for i in range(10)])
+    neg = np.mean([w[i] @ c[(i + 5) % 10] for i in range(10)])
+    assert pos > neg
+
+
+def test_sgns_empty_corpus_is_noop():
+    model = SGNS(5, 4, seed=0)
+    noise = unigram_noise(np.ones(5))
+    assert model.train(np.empty(0, dtype=int), np.empty(0, dtype=int),
+                       noise=noise) == 0.0
+
+
+def test_sgns_rejects_mismatched_pairs():
+    from repro.errors import DimensionError
+    model = SGNS(5, 4, seed=0)
+    noise = unigram_noise(np.ones(5))
+    with pytest.raises(DimensionError):
+        model.train(np.array([1, 2]), np.array([1]), noise=noise)
+
+
+def test_unigram_noise_smoothing():
+    sampler = unigram_noise(np.array([1.0, 16.0]), power=0.75)
+    draws = sampler.sample(100_000, seed=0)
+    freq = np.bincount(draws, minlength=2) / 100_000
+    expect = np.array([1.0, 8.0])
+    expect /= expect.sum()
+    np.testing.assert_allclose(freq, expect, atol=0.02)

@@ -1,0 +1,63 @@
+"""Tests for the FORA estimator and top-k PPR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.ppr import fora, ppr_row, top_k_ppr, top_k_ppr_exact
+
+
+def test_fora_close_to_exact(fig1):
+    exact = ppr_row(fig1, 1, 0.15)
+    estimate = fora(fig1, 1, 0.15, r_max=1e-3, walks_per_unit=2000, seed=0)
+    assert np.abs(estimate - exact).max() < 0.02
+
+
+def test_fora_mass_conserved(er_graph):
+    estimate = fora(er_graph, 0, 0.15, r_max=1e-3, walks_per_unit=500,
+                    seed=1)
+    assert estimate.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+def test_fora_with_tiny_rmax_reduces_to_push(fig1):
+    exact = ppr_row(fig1, 2, 0.15)
+    estimate = fora(fig1, 2, 0.15, r_max=1e-10, seed=2)
+    np.testing.assert_allclose(estimate, exact, atol=1e-6)
+
+
+def test_fora_more_walks_less_error(fig1):
+    exact = ppr_row(fig1, 0, 0.15)
+    errs = []
+    for walks in (20, 5000):
+        est = fora(fig1, 0, 0.15, r_max=0.05, walks_per_unit=walks, seed=3)
+        errs.append(np.abs(est - exact).max())
+    assert errs[1] <= errs[0] + 1e-9
+
+
+def test_fora_rejects_bad_walks(fig1):
+    with pytest.raises(ParameterError):
+        fora(fig1, 0, 0.15, walks_per_unit=0.0)
+
+
+def test_topk_exact_ordering(fig1):
+    nodes, values = top_k_ppr_exact(fig1, 1, 3, 0.15)
+    # from Table 1, v2's top-3 targets (excluding itself) are v3, v5, v1
+    assert nodes.tolist() == [2, 4, 0]
+    assert np.all(np.diff(values) <= 0)
+
+
+def test_topk_exact_excludes_source(er_graph):
+    nodes, _ = top_k_ppr_exact(er_graph, 7, 10, 0.15)
+    assert 7 not in nodes
+    assert len(nodes) == 10
+
+
+def test_topk_approx_matches_exact_on_example(fig1):
+    exact_nodes, _ = top_k_ppr_exact(fig1, 1, 3, 0.15)
+    nodes, values = top_k_ppr(fig1, 1, 3, 0.15, r_max=1e-4, seed=0)
+    assert set(nodes.tolist()) == set(exact_nodes.tolist())
+
+
+def test_topk_rejects_bad_k(fig1):
+    with pytest.raises(ParameterError):
+        top_k_ppr_exact(fig1, 0, 0)

@@ -1,0 +1,107 @@
+"""Cross-validation of the push-based and Monte-Carlo PPR estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.graph import erdos_renyi, from_edges
+from repro.ppr import (backward_push, forward_push, monte_carlo_ppr,
+                       ppr_matrix_dense, ppr_row, terminate_walks)
+
+
+def test_forward_push_converges_to_exact(fig1):
+    exact = ppr_row(fig1, 1, 0.15)
+    estimate, residue = forward_push(fig1, 1, 0.15, r_max=1e-10)
+    np.testing.assert_allclose(estimate, exact, atol=1e-7)
+    assert residue.sum() < 1e-7
+
+
+def test_forward_push_underestimates(fig1):
+    exact = ppr_row(fig1, 0, 0.15)
+    estimate, _ = forward_push(fig1, 0, 0.15, r_max=1e-3)
+    assert np.all(estimate <= exact + 1e-12)
+
+
+def test_forward_push_invariant(fig1):
+    """p + sum_v r(v) pi(v, .) == pi(s, .) at any stopping point."""
+    estimate, residue = forward_push(fig1, 2, 0.15, r_max=1e-2)
+    pi = ppr_matrix_dense(fig1, 0.15)
+    reconstructed = estimate + residue @ pi
+    np.testing.assert_allclose(reconstructed, pi[2], atol=1e-10)
+
+
+def test_forward_push_mass_conservation(er_graph):
+    estimate, residue = forward_push(er_graph, 0, 0.15, r_max=1e-6)
+    assert estimate.sum() + residue.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+def test_forward_push_dangling():
+    g = from_edges(3, [0, 1], [1, 2], directed=True)
+    estimate, residue = forward_push(g, 0, 0.15, r_max=1e-10)
+    exact = ppr_row(g, 0, 0.15)
+    np.testing.assert_allclose(estimate, exact, atol=1e-7)
+
+
+def test_forward_push_rejects_bad_params(fig1):
+    with pytest.raises(ParameterError):
+        forward_push(fig1, 0, 0.15, r_max=0.0)
+    with pytest.raises(ParameterError):
+        forward_push(fig1, 0, 1.5)
+
+
+def test_backward_push_converges_to_exact(fig1):
+    pi = ppr_matrix_dense(fig1, 0.15)
+    estimate, _ = backward_push(fig1, 6, 0.15, r_max=1e-10)
+    np.testing.assert_allclose(estimate, pi[:, 6], atol=1e-7)
+
+
+def test_backward_push_additive_guarantee(er_graph):
+    pi = ppr_matrix_dense(er_graph, 0.15)
+    r_max = 1e-3
+    estimate, _ = backward_push(er_graph, 3, 0.15, r_max=r_max)
+    errors = pi[:, 3] - estimate
+    assert np.all(errors >= -1e-12)
+    assert errors.max() <= r_max + 1e-12
+
+
+def test_backward_push_directed(tiny_directed):
+    pi = ppr_matrix_dense(tiny_directed, 0.2)
+    estimate, _ = backward_push(tiny_directed, 2, 0.2, r_max=1e-10)
+    np.testing.assert_allclose(estimate, pi[:, 2], atol=1e-7)
+
+
+@given(st.integers(0, 8), st.floats(0.1, 0.5))
+@settings(max_examples=10, deadline=None)
+def test_push_agree_on_example(source, alpha):
+    from repro.graph import figure1_graph
+    g = figure1_graph()
+    fwd, _ = forward_push(g, source, alpha, r_max=1e-9)
+    exact = ppr_row(g, source, alpha)
+    np.testing.assert_allclose(fwd, exact, atol=1e-6)
+
+
+def test_monte_carlo_close_to_exact(fig1):
+    exact = ppr_row(fig1, 1, 0.15)
+    mc = monte_carlo_ppr(fig1, 1, 0.15, num_walks=100_000, seed=0)
+    assert np.abs(mc - exact).max() < 0.01
+
+
+def test_monte_carlo_is_distribution(fig1):
+    mc = monte_carlo_ppr(fig1, 0, 0.15, num_walks=1000, seed=1)
+    assert mc.sum() == pytest.approx(1.0)
+    assert np.all(mc >= 0)
+
+
+def test_terminate_walks_start_at_sources(er_graph):
+    starts = np.arange(50)
+    stops = terminate_walks(er_graph, starts, 0.999, seed=0)
+    # with alpha ~ 1 nearly every walk stops at its start
+    assert (stops == starts).mean() > 0.95
+
+
+def test_terminate_walks_deterministic(er_graph):
+    a = terminate_walks(er_graph, np.arange(30), 0.15, seed=9)
+    b = terminate_walks(er_graph, np.arange(30), 0.15, seed=9)
+    assert np.array_equal(a, b)

@@ -1,0 +1,175 @@
+"""Tests for the three evaluation tasks and the scoring conventions."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_embedder
+from repro.core import NRP
+from repro.errors import ParameterError
+from repro.graph import link_prediction_split
+from repro.tasks import (evaluate_classification, evaluate_link_prediction,
+                         evaluate_reconstruction, resolve_scoring,
+                         run_link_prediction, top_ell_predict)
+
+
+# ------------------------------------------------------- link prediction
+def test_link_prediction_beats_random(small_undirected):
+    result = run_link_prediction(NRP(dim=16, svd="exact", lam=0.1, seed=0),
+                                 small_undirected, seed=0)
+    assert result.auc > 0.65
+    assert result.scoring == "inner"
+    assert result.num_test_pairs > 0
+
+
+def test_link_prediction_random_embedding_is_half(small_undirected):
+    """A method with random scores must sit near AUC 0.5."""
+
+    class RandomEmbedder(NRP):
+        def fit(self, graph):
+            rng = np.random.default_rng(0)
+            self.forward_ = rng.standard_normal((graph.num_nodes, 4))
+            self.backward_ = rng.standard_normal((graph.num_nodes, 4))
+            return self
+
+    result = run_link_prediction(RandomEmbedder(dim=8), small_undirected,
+                                 seed=1)
+    assert 0.3 < result.auc < 0.7
+
+
+def test_resolve_scoring_rules(small_directed, small_undirected):
+    verse = make_embedder("verse", 8)
+    assert resolve_scoring(verse, small_directed) == "edge_features"
+    assert resolve_scoring(verse, small_undirected) == "inner"
+    assert resolve_scoring(make_embedder("arope", 8),
+                           small_directed) == "inner"
+    deep = make_embedder("deepwalk", 8)
+    assert resolve_scoring(deep, small_undirected) == "edge_features"
+
+
+def test_edge_features_scoring_pipeline(small_undirected):
+    """The LR-on-concatenated-features path must run and discriminate."""
+    split = link_prediction_split(small_undirected, seed=0)
+    model = make_embedder("spectral", 16, seed=0).fit(split.train_graph)
+    result = evaluate_link_prediction(model, split, seed=1)
+    assert result.scoring == "edge_features"
+    assert 0.0 <= result.auc <= 1.0
+
+
+def test_evaluate_uses_method_convention(small_undirected):
+    split = link_prediction_split(small_undirected, seed=2)
+    nrp = NRP(dim=16, svd="exact", seed=0).fit(split.train_graph)
+    result = evaluate_link_prediction(nrp, split, seed=3)
+    assert result.scoring == "inner"
+
+
+# -------------------------------------------------------- reconstruction
+def test_reconstruction_perfect_oracle(small_undirected):
+    """An oracle scoring edges highest achieves precision 1 up to |E|."""
+
+    class Oracle:
+        name = "oracle"
+        directional = False
+
+        def __init__(self, graph):
+            self.graph = graph
+
+        def score_pairs(self, src, dst):
+            return np.array([float(self.graph.has_edge(int(u), int(v)))
+                             for u, v in zip(src, dst)])
+
+    oracle = Oracle(small_undirected)
+    result = evaluate_reconstruction(oracle, small_undirected, ks=(10, 100))
+    assert result.precision[10] == 1.0
+    assert result.precision[100] == 1.0
+
+
+def test_reconstruction_nrp_beats_random(small_undirected):
+    model = NRP(dim=16, svd="exact", lam=0.1, seed=0).fit(small_undirected)
+    result = evaluate_reconstruction(model, small_undirected, ks=(10, 100))
+    m = small_undirected.num_edges
+    n = small_undirected.num_nodes
+    density = m / (n * (n - 1) / 2)
+    assert result.precision[10] > 10 * density
+    # precision decreases (weakly) with K on a good method
+    assert result.precision[10] >= result.precision[100] - 0.2
+
+
+def test_reconstruction_candidate_count_all_pairs(fig1):
+    model = NRP(dim=4, svd="exact", seed=0).fit(fig1)
+    result = evaluate_reconstruction(model, fig1, ks=(10,))
+    assert result.num_candidates == 9 * 8 // 2
+
+
+def test_reconstruction_sampled_candidates(small_undirected):
+    model = NRP(dim=8, svd="exact", seed=0).fit(small_undirected)
+    result = evaluate_reconstruction(model, small_undirected, ks=(10,),
+                                     sample_fraction=0.05, seed=0)
+    n = small_undirected.num_nodes
+    assert result.num_candidates <= 0.07 * n * (n - 1) / 2
+
+
+def test_reconstruction_directed_counts(tiny_directed):
+    model = NRP(dim=4, svd="exact", seed=0).fit(tiny_directed)
+    result = evaluate_reconstruction(model, tiny_directed, ks=(5,))
+    assert result.num_candidates == 6 * 5
+
+
+def test_reconstruction_rejects_bad_k(fig1):
+    model = NRP(dim=4, svd="exact", seed=0).fit(fig1)
+    with pytest.raises(ParameterError):
+        evaluate_reconstruction(model, fig1, ks=(0,))
+
+
+# ------------------------------------------------------- classification
+def _clustered_features_and_labels(seed=0):
+    rng = np.random.default_rng(seed)
+    n_per, k = 60, 3
+    feats, labels = [], []
+    for c in range(k):
+        feats.append(rng.normal(c * 3.0, 0.5, size=(n_per, 4)))
+        lab = np.zeros((n_per, k), dtype=int)
+        lab[:, c] = 1
+        labels.append(lab)
+    return np.vstack(feats), np.vstack(labels)
+
+
+def test_classification_on_separable_features():
+    feats, labels = _clustered_features_and_labels()
+    result = evaluate_classification(feats, labels, 0.5, seed=0)
+    assert result.micro_f1 > 0.9
+    assert result.macro_f1 > 0.9
+
+
+def test_classification_random_features_weak():
+    rng = np.random.default_rng(1)
+    feats = rng.standard_normal((180, 4))
+    _, labels = _clustered_features_and_labels()
+    result = evaluate_classification(feats, labels, 0.5, seed=0)
+    assert result.micro_f1 < 0.6
+
+
+def test_classification_more_training_helps():
+    feats, labels = _clustered_features_and_labels(2)
+    feats += np.random.default_rng(3).normal(0, 1.2, feats.shape)
+    lo = evaluate_classification(feats, labels, 0.1, seed=4).micro_f1
+    hi = evaluate_classification(feats, labels, 0.9, seed=4).micro_f1
+    assert hi >= lo - 0.05
+
+
+def test_classification_rejects_bad_fraction():
+    feats, labels = _clustered_features_and_labels()
+    with pytest.raises(ParameterError):
+        evaluate_classification(feats, labels, 1.5)
+
+
+def test_top_ell_predict_counts():
+    probs = np.array([[0.9, 0.5, 0.1], [0.2, 0.3, 0.4]])
+    pred = top_ell_predict(probs, np.array([2, 1]))
+    assert pred[0].tolist() == [1, 1, 0]
+    assert pred[1].tolist() == [0, 0, 1]
+
+
+def test_top_ell_predict_zero_labels():
+    probs = np.array([[0.9, 0.5]])
+    pred = top_ell_predict(probs, np.array([0]))
+    assert pred.sum() == 0

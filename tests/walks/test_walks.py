@@ -1,0 +1,177 @@
+"""Tests for the random-walk substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.graph import from_edges
+from repro.walks import (PAD, AliasSampler, cooccurrence_counts,
+                         node2vec_walks, ppr_walks, skipgram_pairs,
+                         uniform_walks, walk_starts)
+
+
+# ------------------------------------------------------------------ alias
+def test_alias_sampler_matches_distribution():
+    weights = np.array([1.0, 2.0, 3.0, 4.0])
+    sampler = AliasSampler(weights)
+    draws = sampler.sample(200_000, seed=0)
+    freq = np.bincount(draws, minlength=4) / 200_000
+    np.testing.assert_allclose(freq, weights / weights.sum(), atol=0.01)
+
+
+def test_alias_sampler_single_outcome():
+    sampler = AliasSampler(np.array([5.0]))
+    assert np.all(sampler.sample(100, seed=1) == 0)
+
+
+def test_alias_sampler_zero_weight_never_sampled():
+    sampler = AliasSampler(np.array([1.0, 0.0, 1.0]))
+    draws = sampler.sample(50_000, seed=2)
+    assert not np.any(draws == 1)
+
+
+def test_alias_sampler_rejects_bad_weights():
+    with pytest.raises(ParameterError):
+        AliasSampler(np.array([-1.0, 2.0]))
+    with pytest.raises(ParameterError):
+        AliasSampler(np.array([0.0, 0.0]))
+    with pytest.raises(ParameterError):
+        AliasSampler(np.empty(0))
+
+
+@given(st.lists(st.floats(0.01, 10.0), min_size=2, max_size=20))
+@settings(max_examples=15, deadline=None)
+def test_alias_sampler_property(weights):
+    weights = np.asarray(weights)
+    sampler = AliasSampler(weights)
+    draws = sampler.sample(20_000, seed=3)
+    freq = np.bincount(draws, minlength=len(weights)) / 20_000
+    np.testing.assert_allclose(freq, weights / weights.sum(), atol=0.04)
+
+
+# ------------------------------------------------------------------ walks
+def test_uniform_walks_follow_edges(er_graph):
+    walks = uniform_walks(er_graph, np.arange(50), 8, seed=0)
+    for row in walks:
+        for a, b in zip(row[:-1], row[1:]):
+            if a == PAD or b == PAD:
+                break
+            assert er_graph.has_arc(int(a), int(b))
+
+
+def test_uniform_walks_shape_and_starts(er_graph):
+    starts = np.array([3, 4, 5])
+    walks = uniform_walks(er_graph, starts, 5, seed=1)
+    assert walks.shape == (3, 6)
+    assert np.array_equal(walks[:, 0], starts)
+
+
+def test_uniform_walks_pad_after_dangling():
+    g = from_edges(3, [0], [1], directed=True)     # 1 is dangling
+    walks = uniform_walks(g, np.array([0]), 4, seed=0)
+    assert walks[0, 0] == 0 and walks[0, 1] == 1
+    assert np.all(walks[0, 2:] == PAD)
+
+
+def test_uniform_walks_deterministic(er_graph):
+    a = uniform_walks(er_graph, np.arange(10), 6, seed=7)
+    b = uniform_walks(er_graph, np.arange(10), 6, seed=7)
+    assert np.array_equal(a, b)
+
+
+def test_walk_starts_covers_every_node(er_graph):
+    starts = walk_starts(er_graph, 3, seed=0)
+    counts = np.bincount(starts, minlength=er_graph.num_nodes)
+    assert np.all(counts == 3)
+
+
+def test_ppr_walks_geometric_length(er_graph):
+    alpha = 0.25
+    walks = ppr_walks(er_graph, np.arange(200).repeat(20) % 200, alpha,
+                      seed=0)
+    lengths = (walks != PAD).sum(axis=1) - 1      # steps after the start
+    # mean steps of a geometric stop ~ (1 - alpha) / alpha
+    expect = (1 - alpha) / alpha
+    assert abs(lengths.mean() - expect) < 0.4
+
+
+def test_ppr_walks_edges_valid(er_graph):
+    walks = ppr_walks(er_graph, np.arange(30), 0.15, seed=1)
+    for row in walks:
+        for a, b in zip(row[:-1], row[1:]):
+            if a == PAD or b == PAD:
+                break
+            assert er_graph.has_arc(int(a), int(b))
+
+
+def test_node2vec_walks_valid_edges(er_graph):
+    walks = node2vec_walks(er_graph, np.arange(40), 8, p=0.5, q=2.0, seed=0)
+    for row in walks:
+        for a, b in zip(row[:-1], row[1:]):
+            if a == PAD or b == PAD:
+                break
+            assert er_graph.has_arc(int(a), int(b))
+
+
+def test_node2vec_return_bias():
+    """p << 1 makes walks return to the previous node far more often."""
+    g = from_edges(40, np.arange(40), (np.arange(40) + 1) % 40,
+                   directed=False)   # ring
+    returny = node2vec_walks(g, np.zeros(400, dtype=np.int64), 6,
+                             p=0.05, q=1.0, seed=0)
+    wandery = node2vec_walks(g, np.zeros(400, dtype=np.int64), 6,
+                             p=20.0, q=1.0, seed=0)
+
+    def return_rate(walks):
+        hits = total = 0
+        for row in walks:
+            for i in range(2, len(row)):
+                if row[i] == PAD:
+                    break
+                total += 1
+                hits += int(row[i] == row[i - 2])
+        return hits / max(total, 1)
+
+    assert return_rate(returny) > return_rate(wandery) + 0.2
+
+
+def test_node2vec_rejects_bad_params(er_graph):
+    with pytest.raises(ParameterError):
+        node2vec_walks(er_graph, np.arange(3), 5, p=0.0)
+
+
+# ----------------------------------------------------------------- corpus
+def test_skipgram_pairs_window_one():
+    walks = np.array([[0, 1, 2]])
+    centers, contexts = skipgram_pairs(walks, 1)
+    pairs = set(zip(centers.tolist(), contexts.tolist()))
+    assert pairs == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+
+def test_skipgram_pairs_directed_context():
+    walks = np.array([[0, 1, 2]])
+    centers, contexts = skipgram_pairs(walks, 2, directed_context=True)
+    pairs = set(zip(centers.tolist(), contexts.tolist()))
+    assert pairs == {(0, 1), (1, 2), (0, 2)}
+
+
+def test_skipgram_pairs_skip_pad():
+    walks = np.array([[0, 1, PAD, PAD]])
+    centers, contexts = skipgram_pairs(walks, 2)
+    assert PAD not in centers and PAD not in contexts
+    assert len(centers) == 2        # (0,1) and (1,0)
+
+
+def test_skipgram_rejects_bad_window():
+    with pytest.raises(ParameterError):
+        skipgram_pairs(np.array([[0, 1]]), 0)
+
+
+def test_cooccurrence_counts_symmetric_for_undirected_context():
+    walks = np.array([[0, 1, 2], [2, 1, 0]])
+    counts = cooccurrence_counts(walks, 1, 3)
+    dense = counts.toarray()
+    np.testing.assert_array_equal(dense, dense.T)
+    assert dense[0, 1] == 2
