@@ -1,0 +1,86 @@
+"""Serving throughput: queries/sec for exact vs. ANN top-k retrieval.
+
+The serving tier's pitch is that answering ``topk(src, k)`` online does
+not require touching all ``n`` scores per query. This bench measures,
+at several graph sizes, three ways of answering the same 10-NN queries
+over NRP embeddings:
+
+* ``exact/per-query`` — one brute-force scan per query, the naive
+  baseline a caller gets from ``argsort(-score_all_from(src))``;
+* ``exact/batched`` — one blocked matmul for the whole query batch;
+* ``ivf/batched`` — the coarse-quantized index at its defaults
+  (``sqrt(n)`` lists, ``nprobe`` = 1/8 of them), with recall@10
+  reported next to the speedup so the accuracy cost is visible.
+
+Expected shape: batching alone buys an order of magnitude, IVF
+multiplies that; the final assert pins the acceptance criterion (ANN
+batched >= 3x exact per-query at the largest size).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro import NRP
+from repro.bench import bench_scale, format_table
+from repro.graph import powerlaw_community
+
+SIZES = (1000, 3000, 8000)
+K = 10
+NUM_QUERIES = 200
+
+
+def _build_engines(num_nodes, seed=0):
+    graph, _ = powerlaw_community(num_nodes, num_nodes * 6,
+                                  num_communities=8, seed=seed)
+    model = NRP(dim=32, seed=seed).fit(graph)
+    exact = model.to_serving(index="exact", cache_size=0)
+    ivf = model.to_serving(index="ivf", cache_size=0, seed=seed)
+    return model, exact, ivf
+
+
+def _qps(fn, queries) -> float:
+    start = time.perf_counter()
+    fn(queries)
+    return len(queries) / (time.perf_counter() - start)
+
+
+def _recall(approx_ids, exact_ids) -> float:
+    return float(np.mean([len(set(a) & set(b)) / K
+                          for a, b in zip(approx_ids, exact_ids)]))
+
+
+def test_serving_throughput(benchmark):
+    sizes = tuple(max(500, int(n * bench_scale())) for n in SIZES)
+
+    def run():
+        rows = []
+        for n in sizes:
+            _, exact, ivf = _build_engines(n)
+            rng = np.random.default_rng(1)
+            queries = rng.integers(0, n, size=min(NUM_QUERIES, n))
+
+            per_query = _qps(
+                lambda q, e=exact: [e.topk(int(node), K) for node in q],
+                queries)
+            batched = _qps(lambda q, e=exact: e.topk(q, K), queries)
+            ann = _qps(lambda q, e=ivf: e.topk(q, K), queries)
+
+            exact_ids, _ = exact.topk(queries, K)
+            ivf_ids, _ = ivf.topk(queries, K)
+            rows.append([n, round(per_query), round(batched), round(ann),
+                         round(ann / per_query, 1),
+                         round(_recall(ivf_ids, exact_ids), 3)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("serving_throughput",
+           "\nServing throughput - queries/sec, k=10 (NRP dim=32)\n" +
+           format_table(["n", "exact/per-query", "exact/batched",
+                         "ivf/batched", "ivf speedup", "recall@10"], rows))
+    largest = rows[-1]
+    assert largest[4] >= 3.0, \
+        f"ANN batched only {largest[4]}x exact per-query at n={largest[0]}"
+    assert largest[5] >= 0.8, f"IVF recall collapsed: {largest[5]}"

@@ -12,6 +12,11 @@ For feature-based tasks (node classification, edge-features link
 prediction) :meth:`Embedder.node_features` returns one row per node:
 directional methods L2-normalize and concatenate their two vectors, as
 the paper prescribes.
+
+:class:`ScoringMixin` carries the scoring surface alone, so loaded
+artifacts (:class:`repro.io.EmbeddingBundle`,
+:class:`repro.serving.EmbeddingStore`) share one implementation with
+the fittable :class:`Embedder` without pretending to be fittable.
 """
 
 from __future__ import annotations
@@ -24,34 +29,38 @@ from .errors import ParameterError, ReproError
 from .graph import Graph
 from .ml.preprocess import normalize_rows
 
-__all__ = ["Embedder"]
+__all__ = ["Embedder", "ScoringMixin", "has_custom_scoring"]
 
 
-class Embedder(ABC):
-    """Base class: construct with hyperparameters, then :meth:`fit` a graph."""
+def has_custom_scoring(model) -> bool:
+    """Whether ``model``'s native pair score is NOT a plain inner product.
+
+    True when the class overrides :meth:`ScoringMixin.score_pairs`
+    (e.g. RaRE's sigmoid rule) or when a loaded bundle/store carries the
+    ``custom_scoring`` marker persisted at save time. Such models cannot
+    be served by a dot-product index without silently changing scores.
+    """
+    if getattr(model, "custom_scoring", False):
+        return True
+    native = getattr(type(model), "score_pairs", ScoringMixin.score_pairs)
+    return native is not ScoringMixin.score_pairs
+
+
+class ScoringMixin:
+    """Scoring surface over ``embedding_`` / ``forward_`` / ``backward_``.
+
+    Anything exposing ``name``, ``directional`` and the fitted matrices
+    gets pair scoring, per-node features, full-row scoring, and the
+    serving hook from this one implementation.
+    """
 
     #: Human-readable method name used in benchmark tables.
     name: str = "embedder"
     #: Whether the method emits separate forward/backward embeddings.
     directional: bool = False
+    #: Link-prediction scoring convention (see repro.tasks.scoring).
+    lp_scoring: str = "inner"
 
-    def __init__(self, dim: int = 128, *, seed: int | None = 0) -> None:
-        if dim < 2:
-            raise ParameterError("dim must be >= 2")
-        if self.directional and dim % 2:
-            raise ParameterError("directional methods need an even dim")
-        self.dim = dim
-        self.seed = seed
-        self.embedding_: np.ndarray | None = None
-        self.forward_: np.ndarray | None = None
-        self.backward_: np.ndarray | None = None
-
-    # ------------------------------------------------------------------
-    @abstractmethod
-    def fit(self, graph: Graph) -> "Embedder":
-        """Compute embeddings for ``graph``; returns ``self``."""
-
-    # ------------------------------------------------------------------
     def _require_fitted(self) -> None:
         if self.directional:
             if self.forward_ is None or self.backward_ is None:
@@ -84,6 +93,40 @@ class Embedder(ABC):
         if self.directional:
             return self.backward_ @ self.forward_[src]
         return self.embedding_ @ self.embedding_[src]
+
+    def to_serving(self, *, index: str = "exact", cache_size: int = 1024,
+                   **index_options):
+        """Build a :class:`repro.serving.QueryEngine` over this model.
+
+        The engine answers batched ``topk(src_nodes, k)`` and
+        ``score(src, dst)`` queries; ``index`` selects the retrieval
+        backend (``"exact"`` or ``"ivf"``), remaining keyword arguments
+        are forwarded to it.
+        """
+        from .serving import QueryEngine   # local import, avoids cycle
+        self._require_fitted()
+        return QueryEngine(self, index=index, cache_size=cache_size,
+                           **index_options)
+
+
+class Embedder(ScoringMixin, ABC):
+    """Base class: construct with hyperparameters, then :meth:`fit` a graph."""
+
+    def __init__(self, dim: int = 128, *, seed: int | None = 0) -> None:
+        if dim < 2:
+            raise ParameterError("dim must be >= 2")
+        if self.directional and dim % 2:
+            raise ParameterError("directional methods need an even dim")
+        self.dim = dim
+        self.seed = seed
+        self.embedding_: np.ndarray | None = None
+        self.forward_: np.ndarray | None = None
+        self.backward_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def fit(self, graph: Graph) -> "Embedder":
+        """Compute embeddings for ``graph``; returns ``self``."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(dim={self.dim})"

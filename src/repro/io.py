@@ -4,42 +4,98 @@ A fitted model's state is two (or one) float matrices plus metadata;
 saving them lets the expensive embedding step be decoupled from the
 downstream tasks, as the paper's own pipeline does (embed once, reuse
 across link prediction / reconstruction / classification).
+
+Two on-disk formats exist:
+
+* a single compressed ``.npz`` bundle (:func:`save_embeddings` /
+  :func:`load_embeddings`) — compact, good for archiving runs;
+* an mmap-able store directory (:func:`export_store` / :func:`load_store`,
+  thin wrappers over :mod:`repro.serving.store`) — the serving format,
+  loaded lazily and shared across worker processes.
+
+Every load path runs :func:`validate_embedding_matrices`, so a corrupt
+or hand-edited file fails immediately with the offending shapes instead
+of surfacing later as a cryptic einsum broadcast error.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
-from .embedder import Embedder
-from .errors import ReproError
+from .embedder import ScoringMixin, has_custom_scoring
+from .errors import ParameterError, ReproError
 
-__all__ = ["save_embeddings", "load_embeddings", "EmbeddingBundle"]
+__all__ = ["save_embeddings", "load_embeddings", "EmbeddingBundle",
+           "validate_embedding_matrices", "export_store", "load_store"]
 
 
-class EmbeddingBundle:
+def validate_embedding_matrices(name: str, *, directional: bool,
+                                embedding: np.ndarray | None = None,
+                                forward: np.ndarray | None = None,
+                                backward: np.ndarray | None = None) -> None:
+    """Check that a matrix set is a well-formed embedding.
+
+    Directional models need ``forward`` and ``backward`` as 2-D float
+    matrices of identical shape; single-vector models need one 2-D float
+    ``embedding``. Raises :class:`ReproError` naming the offending
+    shapes/dtypes — the one place shape corruption is caught before it
+    reaches the scoring einsums.
+    """
+    def shape_of(arr):
+        return None if arr is None else tuple(arr.shape)
+
+    if directional:
+        if forward is None or backward is None:
+            raise ReproError(
+                f"{name}: directional embedding needs forward and backward "
+                f"matrices, got shapes {shape_of(forward)} and "
+                f"{shape_of(backward)}")
+        present = {"forward": forward, "backward": backward}
+    else:
+        if embedding is None:
+            raise ReproError(f"{name}: missing embedding matrix")
+        present = {"embedding": embedding}
+    for key, arr in present.items():
+        if arr.ndim != 2 or 0 in arr.shape:
+            raise ReproError(
+                f"{name}: {key} matrix must be 2-D and non-empty, "
+                f"got shape {shape_of(arr)}")
+        if not np.issubdtype(arr.dtype, np.floating):
+            raise ReproError(
+                f"{name}: {key} matrix must be floating point, "
+                f"got dtype {arr.dtype}")
+    if directional and forward.shape != backward.shape:
+        raise ReproError(
+            f"{name}: forward/backward shapes differ: "
+            f"{shape_of(forward)} vs {shape_of(backward)}")
+    if directional and forward.dtype != backward.dtype:
+        raise ReproError(
+            f"{name}: forward/backward dtypes differ: "
+            f"{forward.dtype} vs {backward.dtype}")
+
+
+class EmbeddingBundle(ScoringMixin):
     """A loaded embedding with the same scoring interface as an Embedder."""
 
     def __init__(self, *, name: str, directional: bool,
                  embedding: np.ndarray | None = None,
                  forward: np.ndarray | None = None,
                  backward: np.ndarray | None = None,
-                 metadata: dict | None = None) -> None:
+                 metadata: dict | None = None,
+                 lp_scoring: str = "inner",
+                 custom_scoring: bool = False) -> None:
         self.name = name
         self.directional = directional
         self.embedding_ = embedding
         self.forward_ = forward
         self.backward_ = backward
         self.metadata = metadata or {}
-
-    # reuse the Embedder scoring implementations
-    node_features = Embedder.node_features
-    score_pairs = Embedder.score_pairs
-    score_all_from = Embedder.score_all_from
-    _require_fitted = Embedder._require_fitted
-    lp_scoring = "inner"
+        self.lp_scoring = lp_scoring
+        self.custom_scoring = custom_scoring
 
 
 def save_embeddings(model, path: str | Path, *, metadata: dict | None = None,
@@ -47,7 +103,13 @@ def save_embeddings(model, path: str | Path, *, metadata: dict | None = None,
     """Save a fitted embedder's matrices + metadata to a ``.npz`` file."""
     path = Path(path)
     meta = {"name": getattr(model, "name", type(model).__name__),
-            "directional": bool(getattr(model, "directional", False))}
+            "directional": bool(getattr(model, "directional", False)),
+            "lp_scoring": getattr(model, "lp_scoring", "inner"),
+            "custom_scoring": has_custom_scoring(model)}
+    clashes = sorted(set(meta) & set(metadata or {}))
+    if clashes:
+        raise ParameterError(
+            f"metadata may not override the reserved bundle keys {clashes}")
     meta.update(metadata or {})
     arrays: dict[str, np.ndarray] = {
         "metadata": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)}
@@ -60,6 +122,10 @@ def save_embeddings(model, path: str | Path, *, metadata: dict | None = None,
         if model.embedding_ is None:
             raise ReproError("model is not fitted")
         arrays["embedding"] = model.embedding_
+    validate_embedding_matrices(
+        meta["name"], directional=meta["directional"],
+        embedding=arrays.get("embedding"), forward=arrays.get("forward"),
+        backward=arrays.get("backward"))
     for extra in ("w_fwd_", "w_bwd_"):
         value = getattr(model, extra, None)
         if value is not None:
@@ -68,16 +134,58 @@ def save_embeddings(model, path: str | Path, *, metadata: dict | None = None,
 
 
 def load_embeddings(path: str | Path) -> EmbeddingBundle:
-    """Load a bundle produced by :func:`save_embeddings`."""
-    with np.load(Path(path)) as data:
-        meta = json.loads(bytes(data["metadata"].tobytes()).decode())
+    """Load a bundle produced by :func:`save_embeddings`.
+
+    Matrix shapes and dtypes are validated on the way in; a mismatched
+    forward/backward pair or a truncated file raises :class:`ReproError`
+    with the offending shapes.
+    """
+    path = Path(path)
+    try:
+        data = np.load(path)
+    except FileNotFoundError:
+        raise
+    except (ValueError, OSError, zipfile.BadZipFile) as exc:
+        raise ReproError(f"not a valid embedding bundle: {path} ({exc})"
+                         ) from exc
+    with data:
+        try:
+            meta = json.loads(bytes(data["metadata"].tobytes()).decode())
+            name, directional = meta.pop("name"), meta.pop("directional")
+        except (KeyError, ValueError) as exc:
+            raise ReproError(f"embedding bundle {path} has a missing or "
+                             f"corrupt metadata record ({exc})") from exc
+        embedding = data["embedding"] if "embedding" in data else None
+        forward = data["forward"] if "forward" in data else None
+        backward = data["backward"] if "backward" in data else None
+        validate_embedding_matrices(name, directional=directional,
+                                    embedding=embedding, forward=forward,
+                                    backward=backward)
+        # bundles written before lp_scoring / custom_scoring existed
+        # default to "inner" / False, the old behavior
         bundle = EmbeddingBundle(
-            name=meta.pop("name"), directional=meta.pop("directional"),
-            embedding=data["embedding"] if "embedding" in data else None,
-            forward=data["forward"] if "forward" in data else None,
-            backward=data["backward"] if "backward" in data else None,
+            name=name, directional=directional, embedding=embedding,
+            forward=forward, backward=backward,
+            lp_scoring=meta.pop("lp_scoring", "inner"),
+            custom_scoring=bool(meta.pop("custom_scoring", False)),
             metadata=meta)
         for extra in ("w_fwd", "w_bwd"):
             if extra in data:
                 bundle.metadata[extra] = data[extra]
     return bundle
+
+
+def export_store(source, root: str | Path, *, metadata: dict | None = None):
+    """Write ``source`` as an mmap-able store directory.
+
+    Convenience re-export of :func:`repro.serving.store.export_store`;
+    see that module for the format.
+    """
+    from .serving.store import export_store as _export   # lazy: no cycle
+    return _export(source, root, metadata=metadata)
+
+
+def load_store(root: str | Path, *, mmap: bool = True):
+    """Open an :class:`repro.serving.EmbeddingStore` directory."""
+    from .serving.store import EmbeddingStore   # lazy: no cycle
+    return EmbeddingStore.open(root, mmap=mmap)

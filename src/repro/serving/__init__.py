@@ -1,0 +1,34 @@
+"""Online serving: turn fitted embeddings into a low-latency query tier.
+
+The offline pipeline (fit -> :func:`repro.io.save_embeddings`) ends with
+matrices on disk; this package is everything after that:
+
+* :mod:`~repro.serving.store` — mmap-backed on-disk matrix store shared
+  across worker processes;
+* :mod:`~repro.serving.index` — exact and IVF-approximate top-k
+  maximum-inner-product indexes;
+* :mod:`~repro.serving.engine` — :class:`QueryEngine`, the batched
+  ``topk`` / ``score`` facade with an LRU result cache;
+* :mod:`~repro.serving.registry` — named multi-model registry;
+* :mod:`~repro.serving.cli` — the ``repro-serve`` command.
+
+Quickstart::
+
+    from repro import NRP
+    from repro.graph import powerlaw_community
+
+    graph, _ = powerlaw_community(2000, 12000, seed=0)
+    engine = NRP(dim=32, seed=0).fit(graph).to_serving()
+    neighbors, scores = engine.topk(0, k=10)
+"""
+
+from .engine import CacheStats, QueryEngine
+from .index import (INDEX_KINDS, ExactIndex, IVFIndex, TopKIndex,
+                    build_index)
+from .registry import DEFAULT_REGISTRY, ServingRegistry
+from .store import MANIFEST_NAME, EmbeddingStore, export_store
+
+__all__ = ["QueryEngine", "CacheStats", "TopKIndex", "ExactIndex",
+           "IVFIndex", "build_index", "INDEX_KINDS", "EmbeddingStore",
+           "export_store", "MANIFEST_NAME", "ServingRegistry",
+           "DEFAULT_REGISTRY"]

@@ -1,0 +1,129 @@
+"""``repro-serve``: build and query embedding stores from the shell.
+
+Three subcommands cover the offline -> online hand-off:
+
+* ``repro-serve export BUNDLE.npz STORE_DIR`` — convert a compressed
+  bundle written by :func:`repro.io.save_embeddings` into an mmap-able
+  :class:`~repro.serving.store.EmbeddingStore` directory;
+* ``repro-serve info STORE_DIR`` — print a store's manifest;
+* ``repro-serve query STORE_DIR --nodes 3,17 -k 10`` — answer top-k
+  queries against a store, optionally through the approximate backend
+  (``--index ivf --nprobe 16``).
+
+Installed as a console script by ``setup.py``; also runnable as
+``python -m repro.serving.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from ..errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve top-k queries from saved NRP-style embeddings.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_export = sub.add_parser(
+        "export", help="convert a .npz bundle into an mmap store directory")
+    p_export.add_argument("bundle", help="path to a save_embeddings() .npz")
+    p_export.add_argument("store", help="output store directory")
+
+    p_info = sub.add_parser("info", help="print a store's manifest")
+    p_info.add_argument("store", help="store directory")
+
+    p_query = sub.add_parser("query", help="top-k neighbors for nodes")
+    p_query.add_argument("store", help="store directory")
+    p_query.add_argument("--nodes", required=True,
+                         help="comma-separated source node ids")
+    p_query.add_argument("-k", type=int, default=10,
+                         help="neighbors per node (default 10)")
+    p_query.add_argument("--index", default="exact",
+                         choices=("exact", "ivf"),
+                         help="retrieval backend (default exact)")
+    p_query.add_argument("--num-lists", type=int, default=None,
+                         help="ivf: number of k-means partitions")
+    p_query.add_argument("--nprobe", type=int, default=None,
+                         help="ivf: partitions probed per query")
+    return parser
+
+
+def _cmd_export(args) -> int:
+    from ..io import load_embeddings
+    from .store import export_store
+    bundle = load_embeddings(args.bundle)
+    store = export_store(bundle, args.store)
+    print(f"exported {store.name}: {store.num_nodes} nodes x "
+          f"{store.dim} dims -> {store.root}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .store import EmbeddingStore
+    store = EmbeddingStore.open(args.store)
+    info = {"name": store.name, "directional": store.directional,
+            "num_nodes": store.num_nodes, "dim": store.dim,
+            "mmapped": store.mmapped,
+            "metadata": {k: v for k, v in store.metadata.items()
+                         if isinstance(v, (str, int, float, bool))}}
+    print(json.dumps(info, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .store import EmbeddingStore
+    try:
+        nodes = [int(tok) for tok in args.nodes.split(",") if tok.strip()]
+    except ValueError:
+        raise ReproError(f"--nodes must be comma-separated ints, "
+                         f"got {args.nodes!r}") from None
+    if not nodes:
+        raise ReproError("--nodes must name at least one node")
+    store = EmbeddingStore.open(args.store)
+    index_options = {}
+    if args.num_lists is not None:
+        index_options["num_lists"] = args.num_lists
+    if args.nprobe is not None:
+        index_options["nprobe"] = args.nprobe
+    if index_options and args.index != "ivf":
+        raise ReproError(
+            f"{'/'.join('--' + key.replace('_', '-') for key in index_options)}"
+            f" requires --index ivf (got --index {args.index})")
+    engine = store.to_serving(index=args.index, **index_options)
+    ids, scores = engine.topk(nodes, k=args.k)
+    for node, row_ids, row_scores in zip(nodes, ids, scores):
+        print(json.dumps({
+            "node": node,
+            "neighbors": [int(v) for v in row_ids if v >= 0],
+            "scores": [round(float(s), 6) for v, s
+                       in zip(row_ids, row_scores) if v >= 0]}))
+    return 0
+
+
+_COMMANDS = {"export": _cmd_export, "info": _cmd_info, "query": _cmd_query}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:      # e.g. `repro-serve query ... | head`
+        # swap stdout for devnull so the interpreter's exit flush
+        # doesn't print a second traceback
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"repro-serve: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":    # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""Batched online query engine over one embedding model.
+
+The offline side of the paper produces ``X``/``Y`` (or ``Z``); the
+online side — the part that actually serves recommendation traffic in
+production PPR systems — answers two queries:
+
+* ``topk(src_nodes, k)``: the ``k`` highest-proximity nodes for each
+  source, i.e. the head of ``argsort(-score_all_from(src))``;
+* ``score(src, dst)``: exact proximity of explicit pairs.
+
+:class:`QueryEngine` wraps any fitted :class:`~repro.embedder.Embedder`,
+loaded :class:`~repro.io.EmbeddingBundle`, or mmap'd
+:class:`~repro.serving.store.EmbeddingStore` behind those two calls,
+routing top-k through a pluggable :mod:`~repro.serving.index` backend
+and memoizing hot sources in a small LRU cache (real query streams are
+heavily skewed, so even a tiny cache absorbs a large share of traffic).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..embedder import has_custom_scoring
+from ..errors import ParameterError, ReproError
+from .index import TopKIndex, build_index
+
+__all__ = ["QueryEngine", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for the engine's top-k LRU cache."""
+
+    hits: int = 0
+    misses: int = 0
+    capacity: int = 0
+    size: int = field(default=0)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _resolve_matrices(source) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(query_matrix, database_matrix)`` for a model-like source.
+
+    Directional methods score ``X_u . Y_v``: queries come from the
+    forward matrix, the index is built over the backward matrix.
+    Single-vector methods use the one matrix for both sides.
+    """
+    name = getattr(source, "name", type(source).__name__)
+    # A model whose native score is not an inner product (e.g. RaRE's
+    # sigmoid rule) cannot be served by a dot-product index — that
+    # would silently return different scores than the model itself.
+    # has_custom_scoring also honors the marker a bundle/store carries.
+    if has_custom_scoring(source):
+        raise ParameterError(
+            f"{name}: uses a non-inner-product scoring rule, which the "
+            f"serving index cannot reproduce")
+    if getattr(source, "directional", False):
+        queries, database = source.forward_, source.backward_
+    else:
+        queries = database = source.embedding_
+    if queries is None or database is None:
+        raise ReproError(
+            f"{name}: source has no fitted matrices "
+            "(call fit() or load a bundle)")
+    return queries, database
+
+
+class QueryEngine:
+    """Top-k / pair-score serving facade over one embedding model."""
+
+    def __init__(self, source, *, index: str | TopKIndex = "exact",
+                 cache_size: int = 1024, **index_options) -> None:
+        self._queries, self._database = _resolve_matrices(source)
+        self.name: str = getattr(source, "name", type(source).__name__)
+        self.directional: bool = bool(getattr(source, "directional", False))
+        self.source = source
+        if isinstance(index, TopKIndex):
+            if index_options:
+                raise ParameterError(
+                    "index_options only apply when building by kind name")
+            if index.num_items != self._database.shape[0]:
+                raise ParameterError(
+                    f"prebuilt index holds {index.num_items} items but the "
+                    f"model has {self._database.shape[0]} nodes")
+            self.index = index
+        else:
+            self.index = build_index(self._database, index, **index_options)
+        if cache_size < 0:
+            raise ParameterError("cache_size must be >= 0")
+        self._cache_capacity = int(cache_size)
+        self._cache: OrderedDict[tuple[int, int], tuple[np.ndarray,
+                                                        np.ndarray]]
+        self._cache = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._queries.shape[0]
+
+    # ------------------------------------------------------------------
+    def topk(self, src_nodes, k: int = 10,
+             ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` neighbors by proximity score for each source node.
+
+        ``src_nodes`` may be a scalar node id (returns ``(k,)`` arrays)
+        or a sequence (returns ``(len(src_nodes), k)`` arrays). The
+        result is ``(indices, scores)`` sorted by descending score; with
+        the exact backend the indices match
+        ``argsort(-score_all_from(src))[:k]``.
+        """
+        if k < 1:
+            raise ParameterError("k must be >= 1")
+        nodes = np.atleast_1d(np.asarray(src_nodes, dtype=np.int64))
+        scalar = np.isscalar(src_nodes) or getattr(src_nodes, "ndim", 1) == 0
+        if nodes.ndim != 1:
+            raise ParameterError("src_nodes must be a scalar or 1-D")
+        if len(nodes) and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
+            raise ParameterError(
+                f"src node out of range [0, {self.num_nodes})")
+
+        if len(nodes) == 0:
+            empty = np.empty((0, min(k, self.num_nodes)))
+            return empty.astype(np.int64), empty.astype(np.float64)
+        if not self._cache_capacity:
+            # cache disabled: skip the per-node bookkeeping entirely
+            self._misses += len(nodes)
+            out_ids, out_scores = self.index.search(self._queries[nodes], k)
+            if scalar:
+                return out_ids[0], out_scores[0]
+            return out_ids, out_scores
+        missing: list[int] = []
+        cached: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for pos, node in enumerate(nodes):
+            entry = self._cache_get(int(node), k)
+            if entry is None:
+                missing.append(pos)
+            else:
+                cached[pos] = entry
+        if missing:
+            # dedupe: a hot node repeated in one batch is searched once
+            uniq, inverse = np.unique(nodes[missing], return_inverse=True)
+            ids, scores = self.index.search(self._queries[uniq], k)
+            # copy: a cached row must not pin the whole batch result
+            entries = [(ids[row].copy(), scores[row].copy())
+                       for row in range(len(uniq))]
+            for node, entry in zip(uniq, entries):
+                self._cache_put(int(node), k, entry)
+            for j, pos in enumerate(missing):
+                cached[pos] = entries[inverse[j]]
+        # np.stack allocates fresh arrays, so callers can't corrupt the
+        # cached rows; only the scalar path needs an explicit copy.
+        out_ids = np.stack([cached[p][0] for p in range(len(nodes))])
+        out_scores = np.stack([cached[p][1] for p in range(len(nodes))])
+        if scalar:
+            return out_ids[0].copy(), out_scores[0].copy()
+        return out_ids, out_scores
+
+    def score(self, src, dst) -> np.ndarray:
+        """Exact proximity score for aligned ``(src, dst)`` pairs."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        for label, nodes in (("src", src), ("dst", dst)):
+            if nodes.size and (nodes.min() < 0
+                               or nodes.max() >= self.num_nodes):
+                raise ParameterError(
+                    f"{label} node out of range [0, {self.num_nodes})")
+        return np.einsum("ij,ij->i", np.atleast_2d(self._queries[src]),
+                         np.atleast_2d(self._database[dst]))
+
+    #: Alias so an engine can stand in for an embedder in the tasks.
+    score_pairs = score
+
+    # ------------------------------------------------------------------
+    def _cache_get(self, node: int, k: int,
+                   ) -> tuple[np.ndarray, np.ndarray] | None:
+        entry = self._cache.get((node, k))
+        if entry is None:
+            self._misses += 1
+            return None
+        self._cache.move_to_end((node, k))
+        self._hits += 1
+        return entry
+
+    def _cache_put(self, node: int, k: int,
+                   entry: tuple[np.ndarray, np.ndarray]) -> None:
+        self._cache[(node, k)] = entry
+        self._cache.move_to_end((node, k))
+        while len(self._cache) > self._cache_capacity:
+            self._cache.popitem(last=False)
+
+    def cache_stats(self) -> CacheStats:
+        """Current LRU cache counters."""
+        return CacheStats(hits=self._hits, misses=self._misses,
+                          capacity=self._cache_capacity,
+                          size=len(self._cache))
+
+    def cache_clear(self) -> None:
+        """Drop every cached result and reset the counters."""
+        self._cache.clear()
+        self._hits = self._misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"QueryEngine(name={self.name!r}, n={self.num_nodes}, "
+                f"index={self.index.kind!r})")

@@ -1,0 +1,82 @@
+"""Multi-model serving registry.
+
+A production deployment rarely serves one embedding: different tasks
+(related-item, follow-recommendation, similar-query) use different
+models, and a new model version warms up next to the old one before the
+traffic flips. :class:`ServingRegistry` holds named
+:class:`~repro.serving.engine.QueryEngine` instances so callers address
+models by name; :data:`DEFAULT_REGISTRY` is a process-wide convenience
+instance (see ``examples/serving_topk.py``).
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError, ReproError
+from .engine import QueryEngine
+
+__all__ = ["ServingRegistry", "DEFAULT_REGISTRY"]
+
+
+class ServingRegistry:
+    """Name -> :class:`QueryEngine` map with engine construction sugar."""
+
+    def __init__(self) -> None:
+        self._engines: dict[str, QueryEngine] = {}
+
+    def register(self, name: str, source, *, replace: bool = False,
+                 **engine_options) -> QueryEngine:
+        """Add a model under ``name``; builds an engine unless given one.
+
+        ``source`` is a :class:`QueryEngine` or anything
+        :class:`QueryEngine` accepts (embedder / bundle / store).
+        Re-registering an existing name requires ``replace=True`` so a
+        typo cannot silently swap live traffic to another model.
+        """
+        if not name:
+            raise ParameterError("model name must be non-empty")
+        if name in self._engines and not replace:
+            raise ReproError(
+                f"model {name!r} already registered (pass replace=True)")
+        if isinstance(source, QueryEngine):
+            if engine_options:
+                raise ParameterError(
+                    "engine_options only apply when source is not "
+                    "already a QueryEngine")
+            engine = source
+        else:
+            engine = QueryEngine(source, **engine_options)
+        self._engines[name] = engine
+        return engine
+
+    def get(self, name: str) -> QueryEngine:
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise ReproError(
+                f"no model {name!r} registered; have {self.names()}"
+                ) from None
+
+    def unregister(self, name: str) -> None:
+        self.get(name)
+        del self._engines[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._engines)
+
+    # Convenience pass-throughs for the two serving calls.
+    def topk(self, name: str, src_nodes, k: int = 10):
+        return self.get(name).topk(src_nodes, k)
+
+    def score(self, name: str, src, dst):
+        return self.get(name).score(src, dst)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._engines
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+
+#: Process-wide convenience registry for applications that want one
+#: shared place to look up models by name.
+DEFAULT_REGISTRY = ServingRegistry()

@@ -1,0 +1,191 @@
+"""Memory-mapped on-disk embedding store.
+
+The ``.npz`` bundles written by :func:`repro.io.save_embeddings` are
+compressed archives: loading one decompresses every matrix into fresh
+memory, once per process. That is fine for offline evaluation but wrong
+for serving, where a multi-million-node matrix should (a) load lazily,
+(b) be shared read-only across worker processes by the page cache, and
+(c) never be copied just to answer a query.
+
+An :class:`EmbeddingStore` is a directory of raw ``.npy`` files plus a
+JSON manifest. Matrices are opened with ``numpy``'s ``mmap_mode="r"``,
+so the OS pages them in on demand and shares the pages between every
+worker that opens the same store. The store exposes the same attribute
+surface as :class:`repro.io.EmbeddingBundle` (``name``, ``directional``,
+``embedding_`` / ``forward_`` / ``backward_``, ``metadata`` and the
+scoring methods), so anything that accepts a bundle accepts a store.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..embedder import ScoringMixin, has_custom_scoring
+from ..errors import ReproError
+from ..io import validate_embedding_matrices
+
+__all__ = ["EmbeddingStore", "export_store", "MANIFEST_NAME"]
+
+#: File name of the JSON manifest inside a store directory.
+MANIFEST_NAME = "store.json"
+
+_FORMAT_VERSION = 1
+
+
+def _matrix_files(directional: bool) -> tuple[str, ...]:
+    return ("forward", "backward") if directional else ("embedding",)
+
+
+def _atomic_save(path: Path, array: np.ndarray) -> None:
+    """Write ``array`` to ``path`` via a temp file + rename.
+
+    Saving directly would open the target with ``'wb'`` and truncate
+    it — fatal when ``array`` is an mmap view of that very file (e.g.
+    re-exporting a store onto its own directory). The rename swaps
+    inodes, so the source mmap stays readable until the write finishes.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.save(fh, array)
+    tmp.replace(path)
+
+
+def export_store(source, root: str | Path, *,
+                 metadata: dict | None = None) -> "EmbeddingStore":
+    """Write a fitted embedder / loaded bundle as an mmap-able store.
+
+    ``source`` is anything with ``name``, ``directional`` and the fitted
+    matrices (an :class:`~repro.embedder.Embedder`, an
+    :class:`~repro.io.EmbeddingBundle`, or another store). Returns the
+    freshly opened store.
+    """
+    root = Path(root)
+    directional = bool(getattr(source, "directional", False))
+    name = getattr(source, "name", type(source).__name__)
+    matrices = {key: getattr(source, f"{key}_", None)
+                for key in _matrix_files(directional)}
+    validate_embedding_matrices(name, directional=directional, **{
+        "forward": matrices.get("forward"),
+        "backward": matrices.get("backward"),
+        "embedding": matrices.get("embedding")})
+
+    root.mkdir(parents=True, exist_ok=True)
+    meta = dict(getattr(source, "metadata", None) or {})
+    meta.update(metadata or {})
+    extras = []
+    for extra in ("w_fwd", "w_bwd"):
+        value = meta.pop(extra, None)
+        if value is None:
+            value = getattr(source, f"{extra}_", None)
+        if value is not None:
+            _atomic_save(root / f"{extra}.npy", np.asarray(value))
+            extras.append(extra)
+
+    first = next(iter(matrices.values()))
+    for key, matrix in matrices.items():
+        _atomic_save(root / f"{key}.npy", np.ascontiguousarray(matrix))
+    manifest = {
+        "format": _FORMAT_VERSION,
+        "name": name,
+        "directional": directional,
+        "lp_scoring": getattr(source, "lp_scoring", "inner"),
+        "custom_scoring": has_custom_scoring(source),
+        "num_nodes": int(first.shape[0]),
+        "dim": int(sum(m.shape[1] for m in matrices.values())),
+        "dtype": str(first.dtype),
+        "matrices": sorted(matrices),
+        "extras": extras,
+        "metadata": meta,
+    }
+    tmp = root / (MANIFEST_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+    tmp.replace(root / MANIFEST_NAME)
+    return EmbeddingStore.open(root)
+
+
+class EmbeddingStore(ScoringMixin):
+    """A read-only, lazily loaded embedding matrix set on disk.
+
+    Inherits the bundle/embedder scoring surface from
+    :class:`~repro.embedder.ScoringMixin`, so stores plug into the
+    evaluation tasks and the query engine unchanged.
+    """
+
+    def __init__(self, root: Path, manifest: dict, arrays: dict) -> None:
+        self.root = Path(root)
+        self.name: str = manifest["name"]
+        self.directional: bool = manifest["directional"]
+        self.lp_scoring: str = manifest.get("lp_scoring", "inner")
+        self.custom_scoring: bool = bool(manifest.get("custom_scoring",
+                                                      False))
+        self.metadata: dict = dict(manifest.get("metadata", {}))
+        self._manifest = manifest
+        self.embedding_ = arrays.get("embedding")
+        self.forward_ = arrays.get("forward")
+        self.backward_ = arrays.get("backward")
+        for extra in manifest.get("extras", ()):
+            self.metadata[extra] = arrays[extra]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, root: str | Path, *, mmap: bool = True) -> "EmbeddingStore":
+        """Open a store directory; matrices are mmap'd unless ``mmap=False``."""
+        root = Path(root)
+        manifest_path = root / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise ReproError(f"not an embedding store: {root} "
+                             f"(missing {MANIFEST_NAME})")
+        try:
+            with open(manifest_path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"corrupt store manifest {manifest_path}: {exc}"
+                             ) from exc
+        if manifest.get("format") != _FORMAT_VERSION:
+            raise ReproError(f"unsupported store format "
+                             f"{manifest.get('format')!r} in {manifest_path}")
+        mode = "r" if mmap else None
+        arrays: dict[str, np.ndarray] = {}
+        for key in list(manifest["matrices"]) + list(manifest.get("extras", ())):
+            path = root / f"{key}.npy"
+            if not path.is_file():
+                raise ReproError(f"store {root} is missing {key}.npy")
+            arrays[key] = np.load(path, mmap_mode=mode)
+        validate_embedding_matrices(
+            manifest["name"], directional=manifest["directional"],
+            embedding=arrays.get("embedding"),
+            forward=arrays.get("forward"), backward=arrays.get("backward"))
+        mats = [arrays[key] for key in manifest["matrices"]]
+        if (any(m.shape[0] != manifest["num_nodes"] for m in mats)
+                or sum(m.shape[1] for m in mats) != manifest["dim"]
+                or str(mats[0].dtype) != manifest["dtype"]):
+            raise ReproError(
+                f"store {root} manifest disagrees with its matrices: "
+                f"manifest says {manifest['num_nodes']} nodes x "
+                f"{manifest['dim']} dims ({manifest['dtype']}), files hold "
+                f"{[tuple(m.shape) for m in mats]} ({mats[0].dtype}) - "
+                f"likely a partially overwritten store")
+        return cls(root, manifest, arrays)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return int(self._manifest["num_nodes"])
+
+    @property
+    def dim(self) -> int:
+        return int(self._manifest["dim"])
+
+    @property
+    def mmapped(self) -> bool:
+        """Whether the matrices are memory-mapped (vs. heap copies)."""
+        first = self.forward_ if self.directional else self.embedding_
+        return isinstance(first, np.memmap)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"EmbeddingStore(name={self.name!r}, n={self.num_nodes}, "
+                f"dim={self.dim}, mmapped={self.mmapped})")

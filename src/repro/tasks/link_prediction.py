@@ -33,9 +33,17 @@ class LinkPredictionResult:
 
 
 def evaluate_link_prediction(embedder: Embedder, split: LinkPredictionSplit,
-                             *, seed=None) -> LinkPredictionResult:
-    """Score an already-fitted embedder on a prepared split."""
-    scores, labels = score_test_pairs(embedder, split, seed=seed)
+                             *, seed=None, engine=None,
+                             ) -> LinkPredictionResult:
+    """Score an already-fitted embedder on a prepared split.
+
+    Passing ``engine`` (a :class:`repro.serving.QueryEngine` over the
+    same model) evaluates through the online serving path instead of the
+    embedder's in-process matrices — identical AUC proves the serving
+    tier is faithful to the offline scores.
+    """
+    scores, labels = score_test_pairs(embedder, split, seed=seed,
+                                      engine=engine)
     return LinkPredictionResult(
         method=getattr(embedder, "name", type(embedder).__name__),
         auc=auc_score(labels, scores),

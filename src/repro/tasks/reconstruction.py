@@ -17,6 +17,7 @@ from ..embedder import Embedder
 from ..errors import ParameterError
 from ..graph import Graph
 from ..rng import ensure_rng
+from .scoring import check_engine_matches
 
 __all__ = ["ReconstructionResult", "evaluate_reconstruction"]
 
@@ -80,16 +81,21 @@ def evaluate_reconstruction(embedder: Embedder, graph: Graph,
                             ks: tuple[int, ...] = (10, 100, 1000, 10_000), *,
                             sample_fraction: float | None = None,
                             chunk_rows: int = 64,
-                            seed=None) -> ReconstructionResult:
+                            seed=None, engine=None) -> ReconstructionResult:
     """Compute precision@K for every K in ``ks``.
 
     ``sample_fraction=None`` sweeps *all* pairs (the paper's protocol for
     Wiki/BlogCatalog); a float (e.g. ``0.01``) samples that fraction of
     pairs (Youtube/TWeibo protocol).
+
+    Passing ``engine`` (a :class:`repro.serving.QueryEngine` over the
+    same model) scores candidates through the serving tier — identical
+    precision proves online/offline parity.
     """
     ks = tuple(sorted(int(k) for k in ks))
     if not ks or ks[0] < 1:
         raise ParameterError("ks must be positive integers")
+    check_engine_matches(engine, graph)
     rng = ensure_rng(seed)
     k_max = ks[-1]
     keys = _arc_key_lookup(graph)
@@ -102,7 +108,8 @@ def evaluate_reconstruction(embedder: Embedder, graph: Graph,
         if len(src) == 0:
             continue
         num_candidates += len(src)
-        scores = embedder.score_pairs(src, dst)
+        scorer = engine if engine is not None else embedder
+        scores = scorer.score_pairs(src, dst)
         labels = _is_edge(keys, n, src, dst)
         merged_scores = np.concatenate([best_scores, scores])
         merged_labels = np.concatenate([best_labels, labels])

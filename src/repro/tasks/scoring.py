@@ -18,7 +18,16 @@ from ..graph.splits import LinkPredictionSplit
 from ..ml import LogisticRegression, concat_features
 from ..rng import ensure_rng
 
-__all__ = ["resolve_scoring", "score_test_pairs", "edge_feature_scores"]
+__all__ = ["resolve_scoring", "score_test_pairs", "edge_feature_scores",
+           "check_engine_matches"]
+
+
+def check_engine_matches(engine, graph: Graph, *, what: str = "graph") -> None:
+    """Reject a parity engine sized for a different model/graph."""
+    if engine is not None and engine.num_nodes != graph.num_nodes:
+        raise ParameterError(
+            f"engine serves {engine.num_nodes} nodes but the {what} has "
+            f"{graph.num_nodes} - engine was built over a different model")
 
 
 def resolve_scoring(embedder: Embedder, graph: Graph) -> str:
@@ -60,10 +69,24 @@ def edge_feature_scores(embedder: Embedder, split: LinkPredictionSplit,
 
 
 def score_test_pairs(embedder: Embedder, split: LinkPredictionSplit, *,
-                     seed=None) -> tuple[np.ndarray, np.ndarray]:
-    """Return ``(scores, labels)`` for the split's test pairs."""
+                     seed=None, engine=None) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(scores, labels)`` for the split's test pairs.
+
+    ``engine`` routes inner-product scoring through a
+    :class:`repro.serving.QueryEngine` built over the same model — the
+    serving-parity path. Edge-features methods score through a trained
+    classifier, not pair inner products, so passing ``engine`` for one
+    is an error rather than a silent no-op parity "pass".
+    """
     src, dst, labels = split.test_pairs
     strategy = resolve_scoring(embedder, split.train_graph)
     if strategy == "inner":
-        return embedder.score_pairs(src, dst), labels
+        check_engine_matches(engine, split.train_graph, what="split's graph")
+        scorer = engine if engine is not None else embedder
+        return scorer.score_pairs(src, dst), labels
+    if engine is not None:
+        raise ParameterError(
+            f"engine= only applies to inner-product scoring; "
+            f"{getattr(embedder, 'name', type(embedder).__name__)} uses "
+            f"{strategy!r}")
     return edge_feature_scores(embedder, split, src, dst, seed=seed), labels

@@ -1,12 +1,15 @@
 """Tests for embedding persistence."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core import NRP
 from repro.baselines import make_embedder
-from repro.errors import ReproError
-from repro.io import load_embeddings, save_embeddings
+from repro.errors import ParameterError, ReproError
+from repro.io import (load_embeddings, save_embeddings,
+                      validate_embedding_matrices)
 
 
 def test_roundtrip_directional(tmp_path, small_undirected):
@@ -46,3 +49,107 @@ def test_loaded_bundle_scores_match(tmp_path, small_undirected):
 def test_save_unfitted_raises(tmp_path):
     with pytest.raises(ReproError):
         save_embeddings(NRP(dim=8), tmp_path / "x.npz")
+
+
+def test_roundtrip_single_vector_metadata(tmp_path, small_undirected):
+    model = make_embedder("spectral", 16, seed=0).fit(small_undirected)
+    path = tmp_path / "spectral.npz"
+    save_embeddings(model, path, metadata={"dataset": "unit", "run": 3})
+    bundle = load_embeddings(path)
+    assert bundle.name == model.name
+    assert not bundle.directional
+    assert bundle.metadata["dataset"] == "unit"
+    assert bundle.metadata["run"] == 3
+    np.testing.assert_array_equal(bundle.embedding_, model.embedding_)
+
+
+def test_roundtrip_preserves_lp_scoring(tmp_path, small_undirected):
+    """Loaded bundles must keep the method's LP scoring protocol."""
+    model = make_embedder("spectral", 16, seed=0).fit(small_undirected)
+    assert model.lp_scoring == "edge_features"
+    path = tmp_path / "spectral.npz"
+    save_embeddings(model, path)
+    bundle = load_embeddings(path)
+    assert bundle.lp_scoring == "edge_features"
+    assert "lp_scoring" not in bundle.metadata
+
+
+def _write_corrupt_npz(path, *, directional, **arrays):
+    meta = {"name": "corrupt", "directional": directional}
+    payload = {"metadata": np.frombuffer(json.dumps(meta).encode(),
+                                         dtype=np.uint8)}
+    payload.update(arrays)
+    np.savez(path, **payload)
+
+
+def test_load_rejects_mismatched_directional_shapes(tmp_path):
+    path = tmp_path / "bad.npz"
+    _write_corrupt_npz(path, directional=True,
+                       forward=np.zeros((10, 8)), backward=np.zeros((9, 8)))
+    with pytest.raises(ReproError, match=r"\(10, 8\).*\(9, 8\)"):
+        load_embeddings(path)
+
+
+def test_load_rejects_missing_backward(tmp_path):
+    path = tmp_path / "bad.npz"
+    _write_corrupt_npz(path, directional=True, forward=np.zeros((10, 8)))
+    with pytest.raises(ReproError, match="forward and backward"):
+        load_embeddings(path)
+
+
+def test_load_rejects_non_2d_embedding(tmp_path):
+    path = tmp_path / "bad.npz"
+    _write_corrupt_npz(path, directional=False, embedding=np.zeros(10))
+    with pytest.raises(ReproError, match="2-D"):
+        load_embeddings(path)
+
+
+def test_load_rejects_mismatched_directional_dtypes(tmp_path):
+    path = tmp_path / "bad.npz"
+    _write_corrupt_npz(path, directional=True,
+                       forward=np.zeros((10, 8), dtype=np.float64),
+                       backward=np.zeros((10, 8), dtype=np.float32))
+    with pytest.raises(ReproError, match="dtypes differ"):
+        load_embeddings(path)
+
+
+def test_load_rejects_integer_matrix(tmp_path):
+    path = tmp_path / "bad.npz"
+    _write_corrupt_npz(path, directional=False,
+                       embedding=np.zeros((10, 4), dtype=np.int32))
+    with pytest.raises(ReproError, match="floating"):
+        load_embeddings(path)
+
+
+def test_save_rejects_reserved_metadata_keys(tmp_path, small_undirected):
+    model = make_embedder("randne", 16, seed=0).fit(small_undirected)
+    for key in ("name", "directional", "lp_scoring"):
+        with pytest.raises(ParameterError, match="reserved"):
+            save_embeddings(model, tmp_path / "x.npz", metadata={key: "zap"})
+
+
+def test_load_rejects_non_npz_file(tmp_path):
+    path = tmp_path / "junk.npz"
+    path.write_text("this is not a zip archive")
+    with pytest.raises(ReproError, match="not a valid embedding bundle"):
+        load_embeddings(path)
+
+
+def test_load_rejects_missing_metadata_record(tmp_path):
+    path = tmp_path / "nometa.npz"
+    np.savez(path, embedding=np.zeros((4, 4)))
+    with pytest.raises(ReproError, match="metadata"):
+        load_embeddings(path)
+
+
+def test_load_missing_file_is_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_embeddings(tmp_path / "ghost.npz")
+
+
+def test_validate_embedding_matrices_accepts_good_input():
+    validate_embedding_matrices("ok", directional=False,
+                                embedding=np.zeros((5, 3)))
+    validate_embedding_matrices("ok", directional=True,
+                                forward=np.zeros((5, 3)),
+                                backward=np.zeros((5, 3)))

@@ -1,0 +1,79 @@
+"""Tests for the repro-serve command line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import NRP
+from repro.io import save_embeddings
+from repro.serving.cli import main
+
+
+@pytest.fixture(scope="module")
+def bundle_path(small_undirected, tmp_path_factory):
+    model = NRP(dim=16, svd="exact", seed=0).fit(small_undirected)
+    path = tmp_path_factory.mktemp("cli") / "nrp.npz"
+    save_embeddings(model, path, metadata={"dataset": "unit"})
+    return path, model
+
+
+def test_export_info_query_round_trip(bundle_path, tmp_path, capsys):
+    path, model = bundle_path
+    store_dir = tmp_path / "store"
+
+    assert main(["export", str(path), str(store_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "NRP" in out and str(model.forward_.shape[0]) in out
+
+    assert main(["info", str(store_dir)]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["directional"] is True
+    assert info["num_nodes"] == model.forward_.shape[0]
+    assert info["metadata"]["dataset"] == "unit"
+
+    assert main(["query", str(store_dir), "--nodes", "0,7", "-k", "5"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2
+    for line, node in zip(lines, (0, 7)):
+        row = json.loads(line)
+        assert row["node"] == node
+        ref = np.argsort(-model.score_all_from(node), kind="stable")[:5]
+        assert row["neighbors"] == [int(v) for v in ref]
+        assert len(row["scores"]) == 5
+
+
+def test_query_ivf_backend(bundle_path, tmp_path, capsys):
+    path, _ = bundle_path
+    store_dir = tmp_path / "store"
+    main(["export", str(path), str(store_dir)])
+    capsys.readouterr()
+    rc = main(["query", str(store_dir), "--nodes", "3", "-k", "4",
+               "--index", "ivf", "--num-lists", "8", "--nprobe", "8"])
+    assert rc == 0
+    row = json.loads(capsys.readouterr().out)
+    assert len(row["neighbors"]) == 4
+
+
+def test_query_bad_nodes_arg(bundle_path, tmp_path, capsys):
+    path, _ = bundle_path
+    store_dir = tmp_path / "store"
+    main(["export", str(path), str(store_dir)])
+    capsys.readouterr()
+    assert main(["query", str(store_dir), "--nodes", "a,b"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_ivf_flags_require_ivf_index(bundle_path, tmp_path, capsys):
+    path, _ = bundle_path
+    store_dir = tmp_path / "store"
+    main(["export", str(path), str(store_dir)])
+    capsys.readouterr()
+    rc = main(["query", str(store_dir), "--nodes", "0", "--nprobe", "8"])
+    assert rc == 2
+    assert "--nprobe requires --index ivf" in capsys.readouterr().err
+
+
+def test_missing_store_is_an_error(tmp_path, capsys):
+    assert main(["info", str(tmp_path / "ghost")]) == 2
+    assert "error" in capsys.readouterr().err

@@ -1,0 +1,147 @@
+"""Tests for the mmap embedding store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import NRP
+from repro.baselines import make_embedder
+from repro.errors import ReproError
+from repro.io import export_store, load_embeddings, load_store, save_embeddings
+from repro.serving import MANIFEST_NAME, EmbeddingStore
+
+
+@pytest.fixture(scope="module")
+def nrp_model(small_undirected):
+    return NRP(dim=16, svd="exact", seed=0).fit(small_undirected)
+
+
+def test_export_and_open_directional(tmp_path, nrp_model):
+    store = export_store(nrp_model, tmp_path / "store",
+                         metadata={"dataset": "unit"})
+    assert store.mmapped
+    assert store.directional
+    assert store.num_nodes == nrp_model.forward_.shape[0]
+    assert store.dim == 16
+    assert store.metadata["dataset"] == "unit"
+    np.testing.assert_array_equal(np.asarray(store.forward_),
+                                  nrp_model.forward_)
+    np.testing.assert_array_equal(np.asarray(store.backward_),
+                                  nrp_model.backward_)
+    # the NRP reweighting vectors ride along as extras
+    np.testing.assert_array_equal(np.asarray(store.metadata["w_fwd"]),
+                                  nrp_model.w_fwd_)
+
+
+def test_store_scores_like_model(tmp_path, nrp_model):
+    store = export_store(nrp_model, tmp_path / "store")
+    src, dst = np.array([0, 5]), np.array([3, 9])
+    np.testing.assert_allclose(store.score_pairs(src, dst),
+                               nrp_model.score_pairs(src, dst))
+    np.testing.assert_allclose(store.score_all_from(4),
+                               nrp_model.score_all_from(4))
+    engine = store.to_serving()
+    ids, _ = engine.topk(4, k=6)
+    ref = np.argsort(-nrp_model.score_all_from(4), kind="stable")[:6]
+    np.testing.assert_array_equal(ids, ref)
+
+
+def test_export_from_saved_bundle(tmp_path, nrp_model):
+    npz = tmp_path / "bundle.npz"
+    save_embeddings(nrp_model, npz, metadata={"run": "r1"})
+    bundle = load_embeddings(npz)
+    store = export_store(bundle, tmp_path / "store")
+    assert store.metadata["run"] == "r1"
+    np.testing.assert_array_equal(np.asarray(store.forward_),
+                                  nrp_model.forward_)
+
+
+def test_single_vector_store(tmp_path, small_undirected):
+    model = make_embedder("randne", 16, seed=0).fit(small_undirected)
+    store = export_store(model, tmp_path / "store")
+    assert not store.directional
+    assert store.forward_ is None
+    np.testing.assert_array_equal(np.asarray(store.embedding_),
+                                  model.embedding_)
+
+
+def test_store_preserves_lp_scoring(tmp_path, small_undirected):
+    model = make_embedder("spectral", 16, seed=0).fit(small_undirected)
+    store = export_store(model, tmp_path / "store")
+    assert store.lp_scoring == "edge_features"
+    # and survives a bundle -> store hop too
+    save_embeddings(model, tmp_path / "b.npz")
+    via_bundle = export_store(load_embeddings(tmp_path / "b.npz"),
+                              tmp_path / "store2")
+    assert via_bundle.lp_scoring == "edge_features"
+
+
+def test_ivf_over_mmap_store_does_not_copy_database(tmp_path, nrp_model):
+    store = export_store(nrp_model, tmp_path / "store")
+    engine = store.to_serving(index="ivf", seed=0)
+    assert engine.index._vecs is None          # gathers from the mmap
+    heap_engine = nrp_model.to_serving(index="ivf", seed=0)
+    assert heap_engine.index._vecs is not None  # in-heap default copies
+    np.testing.assert_array_equal(engine.topk(3, k=5)[0],
+                                  heap_engine.topk(3, k=5)[0])
+
+
+def test_load_store_without_mmap(tmp_path, nrp_model):
+    export_store(nrp_model, tmp_path / "store")
+    store = load_store(tmp_path / "store", mmap=False)
+    assert not store.mmapped
+    np.testing.assert_array_equal(store.forward_, nrp_model.forward_)
+
+
+def test_open_errors(tmp_path, nrp_model):
+    with pytest.raises(ReproError, match="missing"):
+        EmbeddingStore.open(tmp_path / "nope")
+    root = tmp_path / "store"
+    export_store(nrp_model, root)
+
+    (root / "backward.npy").unlink()
+    with pytest.raises(ReproError, match="backward"):
+        EmbeddingStore.open(root)
+
+    (root / MANIFEST_NAME).write_text("{not json", encoding="utf-8")
+    with pytest.raises(ReproError, match="corrupt"):
+        EmbeddingStore.open(root)
+
+
+def test_open_rejects_manifest_matrix_disagreement(tmp_path, nrp_model):
+    root = tmp_path / "store"
+    export_store(nrp_model, root)
+    manifest = json.loads((root / MANIFEST_NAME).read_text())
+    manifest["num_nodes"] = 7
+    (root / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ReproError, match="disagrees"):
+        EmbeddingStore.open(root)
+
+
+def test_open_rejects_unknown_format(tmp_path, nrp_model):
+    root = tmp_path / "store"
+    export_store(nrp_model, root)
+    manifest = json.loads((root / MANIFEST_NAME).read_text())
+    manifest["format"] = 99
+    (root / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ReproError, match="format"):
+        EmbeddingStore.open(root)
+
+
+def test_reexport_store_onto_itself(tmp_path, nrp_model):
+    """In-place re-export (e.g. to refresh metadata) must not corrupt."""
+    root = tmp_path / "store"
+    export_store(nrp_model, root, metadata={"v": 1})
+    store = EmbeddingStore.open(root)
+    updated = export_store(store, root, metadata={"v": 2})
+    assert updated.metadata["v"] == 2
+    np.testing.assert_array_equal(np.asarray(updated.forward_),
+                                  nrp_model.forward_)
+    np.testing.assert_array_equal(np.asarray(updated.backward_),
+                                  nrp_model.backward_)
+
+
+def test_export_unfitted_raises(tmp_path):
+    with pytest.raises(ReproError):
+        export_store(NRP(dim=8), tmp_path / "store")
