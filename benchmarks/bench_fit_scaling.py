@@ -1,0 +1,108 @@
+"""Fit-pipeline scaling: the seed NRP.fit path vs the chunked engine.
+
+PR-1 moved the serving tier off the hot path; this bench tracks the
+remaining bottleneck, offline fitting. At several graph sizes it times
+
+* ``seed`` — ``NRP(dim)`` exactly as the original single-pass path runs
+  it (per-node Python sweeps, one-shot sparse products);
+* ``chunked`` — ``NRP(dim, chunk_size=8192, workers=4)``: row-chunked
+  sparse ApproxPPR plus the chunk-precomputed reweighting sweeps.
+
+Alongside wall-clock it records the parity between the two embeddings
+(the chunked engine's contract is <= 1e-8 max abs diff) and writes the
+whole trajectory to ``benchmarks/results/fit_scaling.json`` so CI can
+archive it. The final asserts pin the acceptance criteria: >= 2x at the
+>= 50k-node size, parity within tolerance everywhere.
+
+Runnable standalone (``python benchmarks/bench_fit_scaling.py``) or via
+pytest (marked ``slow``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import NRP
+from repro.bench import bench_scale, format_table
+from repro.graph import powerlaw_community
+from repro.parallel import available_cpus
+
+try:
+    from conftest import report
+except ImportError:      # standalone script mode
+    def report(name, block):
+        print(block)
+
+pytestmark = pytest.mark.slow
+
+SIZES = (10_000, 25_000, 50_000)
+DIM = 32
+EDGE_FACTOR = 5
+CHUNK_SIZE = 8192
+WORKERS = 4
+PARITY_TOL = 1e-8
+RESULTS_PATH = Path(__file__).parent / "results" / "fit_scaling.json"
+
+
+def _measure(num_nodes: int, seed: int = 0) -> dict:
+    graph, _ = powerlaw_community(num_nodes, EDGE_FACTOR * num_nodes,
+                                  num_communities=16, seed=seed)
+    start = time.perf_counter()
+    seed_model = NRP(dim=DIM, seed=seed).fit(graph)
+    seed_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    chunked_model = NRP(dim=DIM, seed=seed, chunk_size=CHUNK_SIZE,
+                        workers=WORKERS).fit(graph)
+    chunked_seconds = time.perf_counter() - start
+
+    max_diff = max(
+        float(np.abs(seed_model.forward_ - chunked_model.forward_).max()),
+        float(np.abs(seed_model.backward_ - chunked_model.backward_).max()))
+    return {"nodes": graph.num_nodes, "edges": graph.num_edges,
+            "seed_seconds": round(seed_seconds, 3),
+            "chunked_seconds": round(chunked_seconds, 3),
+            "speedup": round(seed_seconds / chunked_seconds, 2),
+            "max_abs_diff": max_diff}
+
+
+def run_scaling(sizes=SIZES) -> list[dict]:
+    rows = [_measure(n) for n in sizes]
+    record = {"dim": DIM, "edge_factor": EDGE_FACTOR,
+              "chunk_size": CHUNK_SIZE, "workers": WORKERS,
+              "available_cpus": available_cpus(), "rows": rows}
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n",
+                            encoding="utf-8")
+
+    title = (f"NRP.fit scaling: seed path vs chunked engine "
+             f"(dim={DIM}, chunk={CHUNK_SIZE}, workers={WORKERS})")
+    table = format_table(
+        ["nodes", "edges", "seed fit (s)", "chunked fit (s)", "speedup",
+         "max |diff|"],
+        [[f"{r['nodes']:,}", f"{r['edges']:,}", f"{r['seed_seconds']:.2f}",
+          f"{r['chunked_seconds']:.2f}", f"{r['speedup']:.2f}x",
+          f"{r['max_abs_diff']:.1e}"] for r in rows])
+    report("fit_scaling", title + "\n" + table)
+    return rows
+
+
+def test_fit_scaling():
+    sizes = tuple(max(2_000, int(n * bench_scale())) for n in SIZES)
+    rows = run_scaling(sizes)
+    for row in rows:
+        assert row["max_abs_diff"] <= PARITY_TOL
+    largest = rows[-1]
+    if largest["nodes"] >= 50_000:
+        # acceptance criterion: >= 2x on a >= 50k-node graph
+        assert largest["speedup"] >= 2.0, (
+            f"chunked fit only {largest['speedup']}x faster at "
+            f"{largest['nodes']} nodes")
+
+
+if __name__ == "__main__":
+    for row in run_scaling():
+        print(json.dumps(row))

@@ -27,6 +27,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve = repro.serving.cli:main",
+            "repro-fit = repro.cli_fit:main",
         ],
     },
     classifiers=[

@@ -23,7 +23,9 @@ import numpy as np
 
 from ..errors import ParameterError
 from ..graph import Graph
-from ..linalg import bksvd, randomized_svd
+from ..linalg import BlockSparseOperator, bksvd, randomized_svd
+from ..parallel import parallel_map, payload
+from ..ppr.chunks import iter_chunks, resolve_chunk_size
 from ..rng import ensure_rng
 
 __all__ = ["ApproxPPRConfig", "approx_ppr_embeddings", "theorem1_bound"]
@@ -35,6 +37,14 @@ class ApproxPPRConfig:
 
     ``k_prime`` is the per-side dimensionality ``k' = k/2``; the paper's
     defaults are ``alpha=0.15, ell1=20, eps=0.2``.
+
+    ``chunk_size`` / ``workers`` select the chunked engine: every
+    matrix–block product (SVD sketching and the ``ell1`` power
+    iterations) is evaluated over row chunks, optionally across worker
+    processes. The chunked engine is bit-identical to the dense-path
+    arithmetic for the sparse products and deterministic given ``seed``
+    regardless of ``workers``; the default (``chunk_size=None,
+    workers=1``) runs the original single-pass path unchanged.
     """
 
     k_prime: int
@@ -43,23 +53,52 @@ class ApproxPPRConfig:
     eps: float = 0.2
     svd: str = "bksvd"           # "bksvd" | "rsvd" | "exact"
     seed: int | None = 0
+    chunk_size: int | None = None
+    workers: int = 1
+
+    @property
+    def chunked(self) -> bool:
+        """Whether the chunked engine is selected."""
+        return self.chunk_size is not None or self.workers != 1
 
     def validate(self) -> None:
         if self.k_prime < 1:
             raise ParameterError("k_prime must be >= 1")
         if not 0.0 < self.alpha < 1.0:
-            raise ParameterError("alpha must be in (0, 1)")
+            raise ParameterError(
+                f"alpha must be in the open interval (0, 1), "
+                f"got {self.alpha!r}")
         if self.ell1 < 1:
             raise ParameterError("ell1 must be >= 1")
         if self.eps <= 0:
             raise ParameterError("eps must be positive")
         if self.svd not in ("bksvd", "rsvd", "exact"):
             raise ParameterError(f"unknown svd backend {self.svd!r}")
+        if self.chunk_size is not None and (
+                int(self.chunk_size) != self.chunk_size or self.chunk_size < 1):
+            raise ParameterError(
+                f"chunk_size must be a positive integer or None, "
+                f"got {self.chunk_size!r}")
+        if int(self.workers) != self.workers or self.workers < 1:
+            raise ParameterError(
+                f"workers must be a positive integer, got {self.workers!r}")
+        if self.chunked and self.svd == "exact":
+            raise ParameterError(
+                "svd='exact' densifies the full adjacency matrix, which "
+                "defeats the chunked engine; use svd='bksvd' or 'rsvd' "
+                "with chunk_size/workers")
 
 
 def _factorize_adjacency(graph: Graph, config: ApproxPPRConfig,
                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     adjacency = graph.adjacency()
+    if config.chunked:
+        # Same arithmetic, evaluated one row block at a time (and in
+        # parallel when workers > 1): bksvd/rsvd only form matrix-block
+        # products, so the operator swap is invisible to them.
+        adjacency = BlockSparseOperator(adjacency,
+                                        chunk_size=config.chunk_size,
+                                        workers=config.workers)
     rng = ensure_rng(config.seed)
     if config.svd == "bksvd":
         return bksvd(adjacency, config.k_prime, eps=config.eps, seed=rng)
@@ -68,6 +107,33 @@ def _factorize_adjacency(graph: Graph, config: ApproxPPRConfig,
     dense = adjacency.toarray()
     u, s, vt = np.linalg.svd(dense, full_matrices=False)
     return u[:, :config.k_prime], s[:config.k_prime], vt[:config.k_prime].T
+
+
+def _power_chunk(bounds: tuple[int, int]) -> np.ndarray:
+    p, x, x1, decay = payload()
+    start, stop = bounds
+    return decay * (p[start:stop] @ x) + x1[start:stop]
+
+
+def _chunked_power_iterations(p, x1: np.ndarray,
+                              config: ApproxPPRConfig) -> np.ndarray:
+    """Lines 3 of Algorithm 1 over row chunks of ``P``.
+
+    Each output row of ``(1 - alpha) P X + X_1`` depends on the full
+    current ``X`` but is computed independently, so the row-chunked
+    product is bit-identical to the one-shot product for any grid and
+    worker count.
+    """
+    n = x1.shape[0]
+    size = resolve_chunk_size(n, config.chunk_size)
+    bounds = list(iter_chunks(n, size))
+    decay = 1.0 - config.alpha
+    x = x1.copy()
+    for _ in range(2, config.ell1 + 1):
+        blocks = parallel_map(_power_chunk, bounds, workers=config.workers,
+                              payload=(p, x, x1, decay))
+        x = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
+    return x
 
 
 def approx_ppr_embeddings(graph: Graph, config: ApproxPPRConfig,
@@ -83,9 +149,12 @@ def approx_ppr_embeddings(graph: Graph, config: ApproxPPRConfig,
     y = v * sqrt_sigma[None, :]
 
     p = graph.transition_matrix()
-    x = x1.copy()
-    for _ in range(2, config.ell1 + 1):
-        x = (1.0 - config.alpha) * (p @ x) + x1
+    if config.chunked:
+        x = _chunked_power_iterations(p, x1, config)
+    else:
+        x = x1.copy()
+        for _ in range(2, config.ell1 + 1):
+            x = (1.0 - config.alpha) * (p @ x) + x1
     x *= config.alpha * (1.0 - config.alpha)
     return x, y
 

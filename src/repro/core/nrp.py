@@ -35,6 +35,15 @@ class NRPConfig:
 
     ``dim`` is the total per-node budget ``k``; each side receives
     ``k' = k/2`` (Line 1 of Algorithm 3).
+
+    ``chunk_size`` and ``workers`` select the chunked fit engine: the
+    ApproxPPR stage runs over row-chunked sparse blocks and the
+    reweighting sweeps use the chunk-precomputed fast path, with chunks
+    optionally fanned out to ``workers`` processes. The default
+    (``chunk_size=None, workers=1``) is the original single-pass path,
+    bit-for-bit. The chunked engine is deterministic given ``seed``
+    regardless of ``workers`` (chunk boundaries depend only on
+    ``chunk_size``) and tracks the default path to ``<= 1e-8``.
     """
 
     dim: int = 128
@@ -47,6 +56,13 @@ class NRPConfig:
     update_mode: str = "sequential"   # "sequential" (faithful) | "jacobi"
     exact_b1: bool = False            # paper uses the Eq. (14) approximation
     seed: int | None = 0
+    chunk_size: int | None = None
+    workers: int = 1
+
+    @property
+    def chunked(self) -> bool:
+        """Whether the chunked fit engine is selected."""
+        return self.chunk_size is not None or self.workers != 1
 
     def validate(self) -> None:
         if self.dim < 2 or self.dim % 2:
@@ -57,8 +73,12 @@ class NRPConfig:
             raise ParameterError("lambda must be nonnegative")
         if self.update_mode not in ("sequential", "jacobi"):
             raise ParameterError(f"unknown update_mode {self.update_mode!r}")
+        # alpha, chunk_size and workers (shared with the ApproxPPR stage)
+        # are validated once, here, with their clear messages
         ApproxPPRConfig(k_prime=self.dim // 2, alpha=self.alpha,
-                        ell1=self.ell1, eps=self.eps, svd=self.svd).validate()
+                        ell1=self.ell1, eps=self.eps, svd=self.svd,
+                        chunk_size=self.chunk_size,
+                        workers=self.workers).validate()
 
 
 class NRP(Embedder):
@@ -84,12 +104,14 @@ class NRP(Embedder):
                  ell2: int = 10, eps: float = 0.2, lam: float = 10.0,
                  svd: str = "bksvd", update_mode: str = "sequential",
                  exact_b1: bool = False, seed: int | None = 0,
+                 chunk_size: int | None = None, workers: int = 1,
                  track_objective: bool = False) -> None:
         super().__init__(dim, seed=seed)
         self.config = NRPConfig(dim=dim, alpha=alpha, ell1=ell1, ell2=ell2,
                                 eps=eps, lam=lam, svd=svd,
                                 update_mode=update_mode, exact_b1=exact_b1,
-                                seed=seed)
+                                seed=seed, chunk_size=chunk_size,
+                                workers=workers)
         self.config.validate()
         self.track_objective = track_objective
         self.w_fwd_: np.ndarray | None = None
@@ -103,7 +125,8 @@ class NRP(Embedder):
         svd_rng, sweep_rng = spawn_rngs(cfg.seed, 2)
         x, y = approx_ppr_embeddings(graph, ApproxPPRConfig(
             k_prime=cfg.dim // 2, alpha=cfg.alpha, ell1=cfg.ell1,
-            eps=cfg.eps, svd=cfg.svd, seed=svd_rng))
+            eps=cfg.eps, svd=cfg.svd, seed=svd_rng,
+            chunk_size=cfg.chunk_size, workers=cfg.workers))
         n = graph.num_nodes
         d_out = graph.out_degrees.astype(np.float64)
         d_in = graph.in_degrees.astype(np.float64)
@@ -125,10 +148,12 @@ class NRP(Embedder):
         for _ in range(cfg.ell2):
             w_bwd = update_backward_weights(
                 x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam,
-                mode=cfg.update_mode, exact_b1=cfg.exact_b1, seed=sweep_rng)
+                mode=cfg.update_mode, exact_b1=cfg.exact_b1, seed=sweep_rng,
+                chunk_size=cfg.chunk_size, workers=cfg.workers)
             w_fwd = update_forward_weights(
                 x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam,
-                mode=cfg.update_mode, exact_b1=cfg.exact_b1, seed=sweep_rng)
+                mode=cfg.update_mode, exact_b1=cfg.exact_b1, seed=sweep_rng,
+                chunk_size=cfg.chunk_size, workers=cfg.workers)
             if self.track_objective:
                 self.objective_history_.append(reweighting_objective(
                     x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam))
@@ -154,10 +179,12 @@ class ApproxPPREmbedder(Embedder):
 
     def __init__(self, dim: int = 128, *, alpha: float = 0.15, ell1: int = 20,
                  eps: float = 0.2, svd: str = "bksvd",
-                 seed: int | None = 0) -> None:
+                 seed: int | None = 0, chunk_size: int | None = None,
+                 workers: int = 1) -> None:
         super().__init__(dim, seed=seed)
         self.config = ApproxPPRConfig(k_prime=dim // 2, alpha=alpha,
-                                      ell1=ell1, eps=eps, svd=svd, seed=seed)
+                                      ell1=ell1, eps=eps, svd=svd, seed=seed,
+                                      chunk_size=chunk_size, workers=workers)
         self.config.validate()
 
     def fit(self, graph: Graph) -> "ApproxPPREmbedder":

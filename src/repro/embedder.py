@@ -108,6 +108,17 @@ class ScoringMixin:
         return QueryEngine(self, index=index, cache_size=cache_size,
                            **index_options)
 
+    def export_store(self, root, *, metadata: dict | None = None):
+        """Write this fitted model as an mmap-able serving store.
+
+        The offline -> online hand-off in one call: the returned
+        :class:`repro.serving.EmbeddingStore` is what ``repro-serve``
+        queries. ``metadata`` is merged into the store manifest.
+        """
+        from .io import export_store as _export   # local import, avoids cycle
+        self._require_fitted()
+        return _export(self, root, metadata=metadata)
+
 
 class Embedder(ScoringMixin, ABC):
     """Base class: construct with hyperparameters, then :meth:`fit` a graph."""

@@ -2,6 +2,8 @@
 FORA, and top-k solvers."""
 
 from .backward_push import backward_push
+from .chunks import (DEFAULT_CHUNK_SIZE, iter_chunks, num_chunks,
+                     resolve_chunk_size)
 from .fora import fora
 from .forward_push import forward_push
 from .monte_carlo import monte_carlo_ppr, terminate_walks
@@ -13,4 +15,5 @@ __all__ = [
     "ppr_row", "ppr_rows", "ppr_matrix_dense", "truncated_ppr_matrix",
     "forward_push", "backward_push", "monte_carlo_ppr", "terminate_walks",
     "fora", "top_k_ppr", "top_k_ppr_exact",
+    "DEFAULT_CHUNK_SIZE", "resolve_chunk_size", "iter_chunks", "num_chunks",
 ]

@@ -40,7 +40,14 @@ def backward_push(graph: Graph, target: int, alpha: float = 0.15, *,
     out_deg = graph.out_degrees
     estimate = np.zeros(n)
     residue = np.zeros(n)
-    residue[target] = 1.0
+    # Termination-PPR consistency for dangling targets: a walk that
+    # reaches a node with no out-edges stops there with probability 1,
+    # not alpha, so pi(., t) equals the arrival probability rather than
+    # alpha times the expected visit count. Seeding the residue with
+    # 1/alpha folds that correction into the standard push rule (the
+    # alpha self-term of the first push then credits the full mass),
+    # matching what ppr_rows / forward_push / monte_carlo compute.
+    residue[target] = 1.0 if out_deg[target] > 0 else 1.0 / alpha
     queue: deque[int] = deque([target])
     in_queue = np.zeros(n, dtype=bool)
     in_queue[target] = True

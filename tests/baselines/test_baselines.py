@@ -16,6 +16,10 @@ CHEAP_METHODS = ["arope", "randne", "prone", "strap", "spectral", "nethiex",
                  "app", "verse", "pbg", "line", "graphgan", "dngr"]
 WALK_METHODS = ["deepwalk", "node2vec"]
 
+# fits the entire 18-method roster: the heavyweight baseline suite,
+# excluded from the tier-1 fast job
+pytestmark = pytest.mark.slow
+
 
 def test_registry_contains_paper_roster():
     expect = {"arope", "randne", "netmf", "netsmf", "prone", "strap",

@@ -9,6 +9,10 @@ from repro.bench import (BENCH_OVERRIDES, build_method, evolving_auc,
 from repro.core import NRP
 from repro.datasets import load_dataset, load_evolving_dataset
 
+# full fit-and-evaluate pipelines over several methods: the heavyweight
+# end of the suite, excluded from the tier-1 fast job
+pytestmark = pytest.mark.slow
+
 
 # ---------------------------------------------------------------- tables
 def test_format_table_alignment():

@@ -1,0 +1,99 @@
+"""BlockSparseOperator: bit-identical chunked products, SVD drop-in."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import DimensionError, ParameterError
+from repro.linalg import BlockSparseOperator, bksvd, randomized_svd
+from repro.ppr import iter_chunks, num_chunks, resolve_chunk_size
+
+
+@pytest.fixture(scope="module")
+def csr_and_dense():
+    rng = np.random.default_rng(0)
+    mat = sp.random(97, 97, density=0.08, random_state=5, format="csr")
+    dense = rng.standard_normal((97, 7))
+    return mat, dense
+
+
+@pytest.mark.parametrize("chunk_size", [1, 13, 50, 97, 1000, None])
+def test_matmul_bit_identical_for_any_grid(csr_and_dense, chunk_size):
+    mat, dense = csr_and_dense
+    op = BlockSparseOperator(mat, chunk_size=chunk_size)
+    assert np.array_equal(op @ dense, mat @ dense)
+
+
+def test_transpose_matmul_bit_identical(csr_and_dense):
+    mat, dense = csr_and_dense
+    op = BlockSparseOperator(mat, chunk_size=20)
+    assert np.array_equal(op.T @ dense, np.asarray(mat.T @ dense))
+    # double transpose returns the original operator
+    assert op.T.T is op
+
+
+def test_matvec_on_vectors(csr_and_dense):
+    mat, _ = csr_and_dense
+    vec = np.arange(97, dtype=np.float64)
+    op = BlockSparseOperator(mat, chunk_size=11)
+    assert np.array_equal(op @ vec, mat @ vec)
+
+
+def test_shape_and_mismatch(csr_and_dense):
+    mat, _ = csr_and_dense
+    op = BlockSparseOperator(mat)
+    assert op.shape == mat.shape
+    with pytest.raises(DimensionError):
+        op @ np.ones((5, 3))
+
+
+def test_bksvd_accepts_operator(csr_and_dense):
+    mat, _ = csr_and_dense
+    base = bksvd(mat, 5, seed=0)
+    via_op = bksvd(BlockSparseOperator(mat, chunk_size=16), 5, seed=0)
+    for a, b in zip(base, via_op):
+        assert np.array_equal(a, b)
+
+
+def test_rsvd_accepts_operator(csr_and_dense):
+    mat, _ = csr_and_dense
+    base = randomized_svd(mat, 5, seed=0)
+    via_op = randomized_svd(BlockSparseOperator(mat, chunk_size=16), 5,
+                            seed=0)
+    for a, b in zip(base, via_op):
+        assert np.array_equal(a, b)
+
+
+def test_operator_with_workers_is_identical(csr_and_dense):
+    mat, dense = csr_and_dense
+    op1 = BlockSparseOperator(mat, chunk_size=10, workers=1)
+    op4 = BlockSparseOperator(mat, chunk_size=10, workers=4)
+    assert np.array_equal(op1 @ dense, op4 @ dense)
+
+
+# ----------------------------------------------------------------------
+# the shared chunk grid
+# ----------------------------------------------------------------------
+
+def test_iter_chunks_covers_rows_exactly():
+    bounds = list(iter_chunks(10, 3))
+    assert bounds == [(0, 3), (3, 6), (6, 9), (9, 10)]
+    assert list(iter_chunks(0, 4)) == []
+    assert list(iter_chunks(5, None))[0][0] == 0
+
+
+def test_num_chunks_matches_iter():
+    for n, size in ((10, 3), (8, 8), (9, 100), (0, 5), (1, 1)):
+        assert num_chunks(n, size) == len(list(iter_chunks(n, size)))
+
+
+def test_resolve_chunk_size_clamps_and_validates():
+    assert resolve_chunk_size(10, 100) == 10
+    assert resolve_chunk_size(10, 4) == 4
+    assert resolve_chunk_size(100000, None) == 8192
+    with pytest.raises(ParameterError):
+        resolve_chunk_size(10, 0)
+    with pytest.raises(ParameterError):
+        resolve_chunk_size(10, -5)
+    with pytest.raises(ParameterError):
+        resolve_chunk_size(-1, 5)

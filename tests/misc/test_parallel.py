@@ -1,0 +1,64 @@
+"""The fork-based chunk scheduler: ordering, payload, determinism."""
+
+import numpy as np
+import pytest
+
+from repro import parallel
+from repro.errors import ParameterError
+from repro.parallel import effective_workers, parallel_map, payload
+
+
+def _square(task):
+    return task * task
+
+
+def _scaled_row(bounds):
+    matrix, factor = payload()
+    start, stop = bounds
+    return matrix[start:stop] * factor
+
+
+def test_results_preserve_task_order():
+    assert parallel_map(_square, [3, 1, 4, 1, 5]) == [9, 1, 16, 1, 25]
+
+
+def test_payload_is_visible_inline():
+    matrix = np.arange(12.0).reshape(6, 2)
+    out = parallel_map(_scaled_row, [(0, 3), (3, 6)], payload=(matrix, 2.0))
+    np.testing.assert_array_equal(np.concatenate(out), matrix * 2.0)
+
+
+def test_payload_cleared_after_call():
+    parallel_map(_square, [1], payload="something")
+    assert payload() is None
+
+
+def test_force_processes_matches_inline():
+    """The real multiprocess path produces the same bits as the loop."""
+    matrix = np.random.default_rng(0).standard_normal((40, 3))
+    tasks = [(s, min(40, s + 7)) for s in range(0, 40, 7)]
+    inline = parallel_map(_scaled_row, tasks, payload=(matrix, 1.5))
+    forked = parallel_map(_scaled_row, tasks, workers=2,
+                          payload=(matrix, 1.5), force_processes=True)
+    for a, b in zip(inline, forked):
+        assert np.array_equal(a, b)
+
+
+def test_workers_capped_by_cpus_and_tasks():
+    cpus = parallel.available_cpus()
+    assert effective_workers(1000) == cpus
+    assert effective_workers(1000, num_tasks=1) == 1
+    assert effective_workers(1) == 1
+
+
+@pytest.mark.parametrize("workers", [0, -1])
+def test_invalid_workers_raise(workers):
+    with pytest.raises(ParameterError):
+        effective_workers(workers)
+    with pytest.raises(ParameterError):
+        parallel_map(_square, [1, 2], workers=workers)
+
+
+def test_fractional_workers_raise():
+    with pytest.raises(ParameterError):
+        effective_workers(2.5)

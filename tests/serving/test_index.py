@@ -113,6 +113,7 @@ def test_ivf_num_lists_exceeding_train_size(random_db):
     assert ids.shape == (3, 5)
 
 
+@pytest.mark.slow
 def test_ivf_recall_on_5k_graph():
     """Acceptance: default IVF reaches recall@10 >= 0.9 vs exact at 5k nodes."""
     graph, _ = powerlaw_community(5000, 30000, num_communities=8, seed=7)
