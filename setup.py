@@ -12,7 +12,8 @@ setup(
     version="1.0.0",
     description=("Reproduction of 'Homogeneous Network Embedding for "
                  "Massive Graphs via Reweighted Personalized PageRank' "
-                 "(Yang et al., PVLDB 2020) with an online serving tier"),
+                 "(Yang et al., PVLDB 2020) with online serving and "
+                 "streaming-update tiers"),
     long_description=_README.read_text(encoding="utf-8")
     if _README.is_file() else "",
     long_description_content_type="text/markdown",
@@ -28,6 +29,7 @@ setup(
         "console_scripts": [
             "repro-serve = repro.serving.cli:main",
             "repro-fit = repro.cli_fit:main",
+            "repro-stream = repro.cli_stream:main",
         ],
     },
     classifiers=[

@@ -1,6 +1,8 @@
 """The paper's contribution: ApproxPPR (Alg. 1) and NRP (Alg. 2-4)."""
 
-from .approx_ppr import ApproxPPRConfig, approx_ppr_embeddings, theorem1_bound
+from .approx_ppr import (ApproxPPRConfig, PPRFactorState,
+                         approx_ppr_embeddings, approx_ppr_state,
+                         theorem1_bound)
 from .attributed import AttributedNRP, augment_with_attributes
 from .nrp import NRP, ApproxPPREmbedder, NRPConfig
 from .objective import reweighting_objective, strength_vectors
@@ -10,7 +12,8 @@ from .reweighting import (BackwardAggregates, ForwardAggregates,
                           update_backward_weights, update_forward_weights)
 
 __all__ = [
-    "ApproxPPRConfig", "approx_ppr_embeddings", "theorem1_bound",
+    "ApproxPPRConfig", "PPRFactorState", "approx_ppr_embeddings",
+    "approx_ppr_state", "theorem1_bound",
     "NRP", "NRPConfig", "ApproxPPREmbedder",
     "AttributedNRP", "augment_with_attributes",
     "reweighting_objective", "strength_vectors",

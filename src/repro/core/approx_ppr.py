@@ -28,7 +28,8 @@ from ..parallel import parallel_map, payload
 from ..ppr.chunks import iter_chunks, resolve_chunk_size
 from ..rng import ensure_rng
 
-__all__ = ["ApproxPPRConfig", "approx_ppr_embeddings", "theorem1_bound"]
+__all__ = ["ApproxPPRConfig", "PPRFactorState", "approx_ppr_embeddings",
+           "approx_ppr_state", "theorem1_bound"]
 
 
 @dataclass(frozen=True)
@@ -136,9 +137,40 @@ def _chunked_power_iterations(p, x1: np.ndarray,
     return x
 
 
-def approx_ppr_embeddings(graph: Graph, config: ApproxPPRConfig,
-                          ) -> tuple[np.ndarray, np.ndarray]:
-    """Run Algorithm 1; returns ``(X, Y)`` with ``X @ Y.T ~= Pi'``."""
+@dataclass(frozen=True)
+class PPRFactorState:
+    """Internal sketches of Algorithm 1, retained for incremental repair.
+
+    The public result ``(X, Y)`` of :func:`approx_ppr_embeddings` is a
+    lossy view of this state: ``X = alpha (1 - alpha) x_iter`` and
+    ``Y = y``. :class:`repro.streaming.IncrementalPPR` instead needs the
+    un-scaled iterate and the basis that maps adjacency rows back into
+    sketch space:
+
+    ``x1``
+        The first iterate ``X_1 = D^-1 U sqrt(Sigma)``; the additive
+        term of every power iteration.
+    ``x_iter``
+        ``X_ell1`` before the final ``alpha (1 - alpha)`` scaling.
+    ``y``
+        The backward factor ``V sqrt(Sigma)`` (the serving database
+        side; fixed between basis refreshes).
+    ``v_scaled``
+        ``V / sqrt(Sigma)`` (columns with ``sigma = 0`` zeroed). Since
+        ``U sqrt(Sigma) = A V Sigma^-1/2``, a changed adjacency row
+        maps to a changed ``x1`` row by ``delta_A[v] @ v_scaled`` —
+        the identity that makes O(degree) local repair possible.
+    """
+
+    x1: np.ndarray
+    x_iter: np.ndarray
+    y: np.ndarray
+    v_scaled: np.ndarray
+
+
+def approx_ppr_state(graph: Graph, config: ApproxPPRConfig,
+                     ) -> PPRFactorState:
+    """Run Algorithm 1 keeping the internal sketches (see the dataclass)."""
     config.validate()
     if config.k_prime > graph.num_nodes:
         raise ParameterError("k_prime cannot exceed the number of nodes")
@@ -147,16 +179,26 @@ def approx_ppr_embeddings(graph: Graph, config: ApproxPPRConfig,
     d_inv = graph.out_degree_inverse()
     x1 = d_inv[:, None] * u * sqrt_sigma[None, :]
     y = v * sqrt_sigma[None, :]
+    inv_sqrt = np.zeros_like(sqrt_sigma)
+    np.divide(1.0, sqrt_sigma, out=inv_sqrt, where=sqrt_sigma > 0)
+    v_scaled = v * inv_sqrt[None, :]
 
     p = graph.transition_matrix()
     if config.chunked:
-        x = _chunked_power_iterations(p, x1, config)
+        x_iter = _chunked_power_iterations(p, x1, config)
     else:
-        x = x1.copy()
+        x_iter = x1.copy()
         for _ in range(2, config.ell1 + 1):
-            x = (1.0 - config.alpha) * (p @ x) + x1
-    x *= config.alpha * (1.0 - config.alpha)
-    return x, y
+            x_iter = (1.0 - config.alpha) * (p @ x_iter) + x1
+    return PPRFactorState(x1=x1, x_iter=x_iter, y=y, v_scaled=v_scaled)
+
+
+def approx_ppr_embeddings(graph: Graph, config: ApproxPPRConfig,
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Run Algorithm 1; returns ``(X, Y)`` with ``X @ Y.T ~= Pi'``."""
+    state = approx_ppr_state(graph, config)
+    x = state.x_iter * (config.alpha * (1.0 - config.alpha))
+    return x, state.y
 
 
 def theorem1_bound(sigma_next: float, alpha: float, ell1: int,

@@ -19,10 +19,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..embedder import Embedder
-from ..errors import ParameterError
+from ..errors import ParameterError, ReproError
 from ..graph import Graph
 from ..rng import spawn_rngs
-from .approx_ppr import ApproxPPRConfig, approx_ppr_embeddings
+from .approx_ppr import (ApproxPPRConfig, PPRFactorState,
+                         approx_ppr_embeddings, approx_ppr_state)
 from .objective import reweighting_objective
 from .reweighting import update_backward_weights, update_forward_weights
 
@@ -105,7 +106,8 @@ class NRP(Embedder):
                  svd: str = "bksvd", update_mode: str = "sequential",
                  exact_b1: bool = False, seed: int | None = 0,
                  chunk_size: int | None = None, workers: int = 1,
-                 track_objective: bool = False) -> None:
+                 track_objective: bool = False,
+                 keep_factor_state: bool = False) -> None:
         super().__init__(dim, seed=seed)
         self.config = NRPConfig(dim=dim, alpha=alpha, ell1=ell1, ell2=ell2,
                                 eps=eps, lam=lam, svd=svd,
@@ -114,19 +116,38 @@ class NRP(Embedder):
                                 workers=workers)
         self.config.validate()
         self.track_objective = track_objective
+        self.keep_factor_state = keep_factor_state
+        self.factor_state_: PPRFactorState | None = None
         self.w_fwd_: np.ndarray | None = None
         self.w_bwd_: np.ndarray | None = None
         self.base_forward_: np.ndarray | None = None
         self.base_backward_: np.ndarray | None = None
         self.objective_history_: list[float] = []
+        self.last_warm_refit_: dict | None = None
 
     def fit(self, graph: Graph) -> "NRP":
         cfg = self.config
         svd_rng, sweep_rng = spawn_rngs(cfg.seed, 2)
-        x, y = approx_ppr_embeddings(graph, ApproxPPRConfig(
+        approx_cfg = ApproxPPRConfig(
             k_prime=cfg.dim // 2, alpha=cfg.alpha, ell1=cfg.ell1,
             eps=cfg.eps, svd=cfg.svd, seed=svd_rng,
-            chunk_size=cfg.chunk_size, workers=cfg.workers))
+            chunk_size=cfg.chunk_size, workers=cfg.workers)
+        if self.keep_factor_state:
+            # Streaming tier: retain the Algorithm-1 internals so
+            # IncrementalPPR can repair them without a second SVD.
+            state = approx_ppr_state(graph, approx_cfg)
+            self.factor_state_ = state
+            x = state.x_iter * (cfg.alpha * (1.0 - cfg.alpha))
+            y = state.y
+        else:
+            x, y = approx_ppr_embeddings(graph, approx_cfg)
+        self._fit_weights(graph, x, y, sweep_rng)
+        return self
+
+    def _fit_weights(self, graph: Graph, x: np.ndarray, y: np.ndarray,
+                     sweep_rng) -> None:
+        """Lines 4-9 of Algorithm 3 given the base factorization."""
+        cfg = self.config
         n = graph.num_nodes
         d_out = graph.out_degrees.astype(np.float64)
         d_in = graph.in_degrees.astype(np.float64)
@@ -164,6 +185,91 @@ class NRP(Embedder):
         self.w_bwd_ = w_bwd
         self.forward_ = w_fwd[:, None] * x       # Lines 8-9
         self.backward_ = w_bwd[:, None] * y
+
+    def warm_refit(self, graph: Graph, *, x: np.ndarray | None = None,
+                   y: np.ndarray | None = None, epochs: int | None = None,
+                   drift_threshold: float | None = None) -> "NRP":
+        """Refresh a fitted model for a slightly-changed graph.
+
+        Instead of restarting Algorithm 3 from the ``w_fwd = d_out,
+        w_bwd = 1`` initialization, the reweighting sweeps warm-start
+        from the *previous* learned weights (with their incremental
+        ``rho`` aggregates rebuilt from those weights), running only
+        ``epochs`` sweep pairs (default ``max(1, ell2 // 5)``). ``x`` /
+        ``y`` supply refreshed base factor sketches — in the streaming
+        tier, the output of :class:`repro.streaming.IncrementalPPR` —
+        and default to the previous fit's base factors.
+
+        ``drift_threshold`` guards against the warm start hiding a
+        structurally different optimum: after the warm sweeps, the
+        relative L1 weight drift ``|w_new - w_old|_1 / |w_old|_1``
+        (both sides pooled) is compared against it, and a larger drift
+        **escalates to a full** :meth:`fit` on ``graph`` (so the SVD
+        basis is refreshed too). A node-count change always escalates.
+        The decision is recorded in ``self.last_warm_refit_``
+        (``escalated``, ``drift``, ``epochs``, ``reason``).
+        """
+        cfg = self.config
+        if self.w_fwd_ is None or self.base_forward_ is None:
+            raise ReproError(f"{self.name}: warm_refit requires a fitted "
+                             f"model; call fit() first")
+        if (x is None) != (y is None):
+            raise ParameterError("pass both x and y or neither")
+        if epochs is None:
+            epochs = max(1, cfg.ell2 // 5) if cfg.ell2 else 0
+        if epochs < 0:
+            raise ParameterError("epochs must be >= 0")
+        if drift_threshold is not None and drift_threshold <= 0:
+            raise ParameterError("drift_threshold must be positive or None")
+        if x is None:
+            x, y = self.base_forward_, self.base_backward_
+        n = graph.num_nodes
+        if len(self.w_fwd_) != n or x.shape[0] != n:
+            self.fit(graph)
+            # drift is None, not inf: these records travel as JSON lines
+            # and Infinity is not valid JSON
+            self.last_warm_refit_ = {"escalated": True, "drift": None,
+                                     "epochs": 0,
+                                     "reason": "node count changed"}
+            return self
+
+        d_out = graph.out_degrees.astype(np.float64)
+        d_in = graph.in_degrees.astype(np.float64)
+        floor = 1.0 / n
+        w_fwd = np.maximum(self.w_fwd_.astype(np.float64, copy=True), floor)
+        w_bwd = np.maximum(self.w_bwd_.astype(np.float64, copy=True), floor)
+        prev_norm = np.abs(w_fwd).sum() + np.abs(w_bwd).sum()
+        prev_fwd, prev_bwd = w_fwd.copy(), w_bwd.copy()
+
+        sweep_rng = spawn_rngs(cfg.seed, 2)[1]
+        for _ in range(epochs):
+            w_bwd = update_backward_weights(
+                x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam,
+                mode=cfg.update_mode, exact_b1=cfg.exact_b1, seed=sweep_rng,
+                chunk_size=cfg.chunk_size, workers=cfg.workers)
+            w_fwd = update_forward_weights(
+                x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam,
+                mode=cfg.update_mode, exact_b1=cfg.exact_b1, seed=sweep_rng,
+                chunk_size=cfg.chunk_size, workers=cfg.workers)
+        drift = float((np.abs(w_fwd - prev_fwd).sum()
+                       + np.abs(w_bwd - prev_bwd).sum())
+                      / max(prev_norm, 1e-300))
+        if drift_threshold is not None and drift > drift_threshold:
+            self.fit(graph)
+            self.last_warm_refit_ = {
+                "escalated": True, "drift": drift, "epochs": epochs,
+                "reason": f"drift {drift:.4f} > threshold "
+                          f"{drift_threshold:.4f}"}
+            return self
+
+        self.base_forward_ = x
+        self.base_backward_ = y
+        self.w_fwd_ = w_fwd
+        self.w_bwd_ = w_bwd
+        self.forward_ = w_fwd[:, None] * x
+        self.backward_ = w_bwd[:, None] * y
+        self.last_warm_refit_ = {"escalated": False, "drift": drift,
+                                 "epochs": epochs, "reason": None}
         return self
 
 

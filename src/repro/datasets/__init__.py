@@ -1,6 +1,6 @@
 """Synthetic analogues of the paper's datasets (Tables 3 and 4)."""
 
-from .evolving import (EVOLVING_SPECS, EvolvingDataset,
+from .evolving import (EVOLVING_SPECS, DeltaBatch, EvolvingDataset,
                        evolving_dataset_names, load_evolving_dataset)
 from .registry import (DATASET_SPECS, Dataset, DatasetSpec, dataset_names,
                        format_dataset_table, load_dataset)
@@ -8,6 +8,6 @@ from .registry import (DATASET_SPECS, Dataset, DatasetSpec, dataset_names,
 __all__ = [
     "Dataset", "DatasetSpec", "DATASET_SPECS", "load_dataset",
     "dataset_names", "format_dataset_table",
-    "EvolvingDataset", "EVOLVING_SPECS", "load_evolving_dataset",
-    "evolving_dataset_names",
+    "DeltaBatch", "EvolvingDataset", "EVOLVING_SPECS",
+    "load_evolving_dataset", "evolving_dataset_names",
 ]

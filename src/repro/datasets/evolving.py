@@ -12,8 +12,10 @@ experiment stresses exactly what it does on VK/Digg.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Iterator
 
 import numpy as np
 
@@ -21,8 +23,25 @@ from ..errors import ParameterError
 from ..graph import Graph, powerlaw_community
 from ..rng import ensure_rng
 
-__all__ = ["EvolvingDataset", "EVOLVING_SPECS", "load_evolving_dataset",
-           "evolving_dataset_names"]
+__all__ = ["DeltaBatch", "EvolvingDataset", "EVOLVING_SPECS",
+           "load_evolving_dataset", "evolving_dataset_names"]
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """One timestamped batch of edge arrivals from an evolving dataset.
+
+    ``timestamp`` is a virtual clock in ``[0, 1]``: the arrival time of
+    the batch's last edge as a fraction of the whole future-edge stream.
+    """
+
+    timestamp: float
+    src: np.ndarray
+    dst: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return len(self.src)
 
 
 @dataclass(frozen=True)
@@ -37,6 +56,33 @@ class EvolvingDataset:
     @property
     def num_new_edges(self) -> int:
         return len(self.new_src)
+
+    def delta_batches(self, batch_size: int) -> Iterator[DeltaBatch]:
+        """Future edges as an ordered stream of timestamped delta batches.
+
+        The monolithic ``new_src``/``new_dst`` arrays come out of the
+        generator sorted by arc key — replaying them in that order would
+        sweep the node space front to back, nothing like real arrival
+        traffic. This iterator re-orders them with a deterministic
+        per-dataset shuffle (seeded from the dataset name, independent
+        of ``batch_size``) and Poisson-style arrival timestamps, then
+        yields consecutive :class:`DeltaBatch` slices — what a streaming
+        consumer (``repro-stream``, ``bench_streaming``) replays.
+        """
+        if int(batch_size) != batch_size or batch_size < 1:
+            raise ParameterError(
+                f"batch_size must be a positive integer, got {batch_size!r}")
+        m = self.num_new_edges
+        rng = ensure_rng(zlib.crc32(self.name.encode()) & 0x7FFFFFFF)
+        order = rng.permutation(m)
+        # exponential inter-arrivals -> a memoryless virtual clock
+        arrivals = np.cumsum(rng.exponential(1.0, size=m))
+        arrivals /= arrivals[-1] if m else 1.0
+        src, dst = self.new_src[order], self.new_dst[order]
+        for start in range(0, m, int(batch_size)):
+            stop = min(m, start + int(batch_size))
+            yield DeltaBatch(timestamp=float(arrivals[stop - 1]),
+                             src=src[start:stop], dst=dst[start:stop])
 
 
 #: name -> (nodes, old edges, new/old ratio, directed, seed)

@@ -7,8 +7,8 @@ from .generators import (barabasi_albert, chung_lu, erdos_renyi,
                          watts_strogatz)
 from .graph import Graph
 from .labels import community_labels, labels_to_membership
-from .ops import (arc_ids, arc_index_of, largest_connected_component,
-                  remove_arcs, subgraph)
+from .ops import (add_arcs, arc_ids, arc_index_of,
+                  largest_connected_component, remove_arcs, subgraph)
 from .splits import (LinkPredictionSplit, link_prediction_split,
                      sample_non_edges, train_test_nodes)
 
@@ -18,7 +18,7 @@ __all__ = [
     "erdos_renyi", "chung_lu", "powerlaw_community", "powerlaw_weights",
     "sbm", "barabasi_albert", "watts_strogatz", "rmat",
     "community_labels", "labels_to_membership",
-    "arc_ids", "arc_index_of", "remove_arcs", "subgraph",
+    "add_arcs", "arc_ids", "arc_index_of", "remove_arcs", "subgraph",
     "largest_connected_component",
     "LinkPredictionSplit", "link_prediction_split", "sample_non_edges",
     "train_test_nodes",

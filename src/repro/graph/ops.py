@@ -1,15 +1,16 @@
-"""Graph transformations: edge removal, subgraphs, component extraction."""
+"""Graph transformations: edge insertion/removal, subgraphs, components."""
 
 from __future__ import annotations
 
 import numpy as np
 import scipy.sparse as sp
 
+from ..errors import ParameterError
 from .build import from_edges
 from .graph import Graph
 
-__all__ = ["remove_arcs", "subgraph", "largest_connected_component",
-           "arc_ids", "arc_index_of"]
+__all__ = ["add_arcs", "remove_arcs", "subgraph",
+           "largest_connected_component", "arc_ids", "arc_index_of"]
 
 
 def arc_ids(graph: Graph) -> np.ndarray:
@@ -31,6 +32,56 @@ def arc_index_of(graph: Graph, sources: np.ndarray, destinations: np.ndarray) ->
         if j < len(row) and row[j] == dst[i]:
             out[i] = starts[i] + j
     return out
+
+
+def add_arcs(graph: Graph, sources, destinations) -> Graph:
+    """Return a copy of ``graph`` with the given arcs inserted.
+
+    The exact counterpart of :func:`remove_arcs`: for undirected graphs
+    the reverse arcs are inserted too, so the result stays symmetric,
+    and the CSR rows of the result are sorted and duplicate-free like
+    every :class:`Graph`. Unlike ``remove_arcs`` (where removing an
+    absent arc is a harmless no-op) inserting an arc that already exists
+    — in the graph, or twice in the request — raises
+    :class:`ParameterError`: callers batching deltas (``DeltaGraph``)
+    rely on the arc count growing by exactly ``len(sources)``. Self
+    loops and out-of-range endpoints are rejected for the same reason.
+    """
+    src = np.asarray(sources, dtype=np.int64).ravel()
+    dst = np.asarray(destinations, dtype=np.int64).ravel()
+    if src.shape != dst.shape:
+        raise ParameterError("sources and destinations must have equal length")
+    n = graph.num_nodes
+    if len(src) == 0:
+        return Graph(graph.indptr.copy(), graph.indices.copy(),
+                     directed=graph.directed)
+    if min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= n:
+        raise ParameterError(
+            f"arc endpoint out of range [0, {n}) in add_arcs")
+    if np.any(src == dst):
+        raise ParameterError("add_arcs rejects self loops")
+    if not graph.directed:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    new_keys = src * np.int64(n) + dst
+    uniq = np.unique(new_keys)
+    if len(uniq) != len(new_keys):
+        # For undirected graphs this also catches (u, v) and (v, u)
+        # requested together, which alias the same edge.
+        raise ParameterError("duplicate arcs in add_arcs request")
+    all_src, all_dst = graph.arcs()
+    existing = all_src * np.int64(n) + all_dst
+    clash = np.isin(uniq, existing, assume_unique=False)
+    if clash.any():
+        key = int(uniq[clash][0])
+        raise ParameterError(
+            f"arc ({key // n}, {key % n}) already present in add_arcs")
+    merged = np.concatenate([existing, new_keys])
+    order = np.argsort(merged, kind="stable")
+    merged = merged[order]
+    out_src = merged // n
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(out_src, minlength=n), out=indptr[1:])
+    return Graph(indptr, merged % n, directed=graph.directed)
 
 
 def remove_arcs(graph: Graph, sources, destinations) -> Graph:

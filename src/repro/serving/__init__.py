@@ -26,9 +26,12 @@ from .engine import CacheStats, QueryEngine
 from .index import (INDEX_KINDS, ExactIndex, IVFIndex, TopKIndex,
                     build_index)
 from .registry import DEFAULT_REGISTRY, ServingRegistry
-from .store import MANIFEST_NAME, EmbeddingStore, export_store
+from .store import (CURRENT_NAME, MANIFEST_NAME, EmbeddingStore,
+                    export_store, list_versions, open_current,
+                    publish_version)
 
 __all__ = ["QueryEngine", "CacheStats", "TopKIndex", "ExactIndex",
            "IVFIndex", "build_index", "INDEX_KINDS", "EmbeddingStore",
-           "export_store", "MANIFEST_NAME", "ServingRegistry",
-           "DEFAULT_REGISTRY"]
+           "export_store", "MANIFEST_NAME", "CURRENT_NAME",
+           "publish_version", "open_current", "list_versions",
+           "ServingRegistry", "DEFAULT_REGISTRY"]

@@ -18,6 +18,7 @@ heavily skewed, so even a tiny cache absorbs a large share of traffic).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -98,6 +99,11 @@ class QueryEngine:
         self._cache: OrderedDict[tuple[int, int], tuple[np.ndarray,
                                                         np.ndarray]]
         self._cache = OrderedDict()
+        # Serving is multi-threaded (registry hot swaps, concurrent
+        # readers); the LRU bookkeeping is the one mutable spot, so its
+        # compound operations (get + move_to_end, put + evict) take a
+        # lock. Index searches run outside it and stay parallel.
+        self._cache_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
 
@@ -132,7 +138,8 @@ class QueryEngine:
             return empty.astype(np.int64), empty.astype(np.float64)
         if not self._cache_capacity:
             # cache disabled: skip the per-node bookkeeping entirely
-            self._misses += len(nodes)
+            with self._cache_lock:
+                self._misses += len(nodes)
             out_ids, out_scores = self.index.search(self._queries[nodes], k)
             if scalar:
                 return out_ids[0], out_scores[0]
@@ -182,31 +189,35 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def _cache_get(self, node: int, k: int,
                    ) -> tuple[np.ndarray, np.ndarray] | None:
-        entry = self._cache.get((node, k))
-        if entry is None:
-            self._misses += 1
-            return None
-        self._cache.move_to_end((node, k))
-        self._hits += 1
-        return entry
+        with self._cache_lock:
+            entry = self._cache.get((node, k))
+            if entry is None:
+                self._misses += 1
+                return None
+            self._cache.move_to_end((node, k))
+            self._hits += 1
+            return entry
 
     def _cache_put(self, node: int, k: int,
                    entry: tuple[np.ndarray, np.ndarray]) -> None:
-        self._cache[(node, k)] = entry
-        self._cache.move_to_end((node, k))
-        while len(self._cache) > self._cache_capacity:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[(node, k)] = entry
+            self._cache.move_to_end((node, k))
+            while len(self._cache) > self._cache_capacity:
+                self._cache.popitem(last=False)
 
     def cache_stats(self) -> CacheStats:
         """Current LRU cache counters."""
-        return CacheStats(hits=self._hits, misses=self._misses,
-                          capacity=self._cache_capacity,
-                          size=len(self._cache))
+        with self._cache_lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              capacity=self._cache_capacity,
+                              size=len(self._cache))
 
     def cache_clear(self) -> None:
         """Drop every cached result and reset the counters."""
-        self._cache.clear()
-        self._hits = self._misses = 0
+        with self._cache_lock:
+            self._cache.clear()
+            self._hits = self._misses = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"QueryEngine(name={self.name!r}, n={self.num_nodes}, "

@@ -7,9 +7,20 @@ traffic flips. :class:`ServingRegistry` holds named
 :class:`~repro.serving.engine.QueryEngine` instances so callers address
 models by name; :data:`DEFAULT_REGISTRY` is a process-wide convenience
 instance (see ``examples/serving_topk.py``).
+
+The registry is **thread-safe**: lookups and (re-)registrations take an
+internal lock, and :meth:`ServingRegistry.swap` builds the replacement
+engine *before* entering the lock, so a query thread racing a hot swap
+either gets the complete old engine or the complete new one — never a
+half-built index. An in-flight query that already resolved its engine
+keeps using it to completion; engines are immutable once built (the LRU
+cache inside :class:`QueryEngine` is per-engine and dies with it), so
+nothing is ever torn out from under a reader.
 """
 
 from __future__ import annotations
+
+import threading
 
 from ..errors import ParameterError, ReproError
 from .engine import QueryEngine
@@ -22,6 +33,17 @@ class ServingRegistry:
 
     def __init__(self) -> None:
         self._engines: dict[str, QueryEngine] = {}
+        self._lock = threading.RLock()
+
+    @staticmethod
+    def _build(source, engine_options) -> QueryEngine:
+        if isinstance(source, QueryEngine):
+            if engine_options:
+                raise ParameterError(
+                    "engine_options only apply when source is not "
+                    "already a QueryEngine")
+            return source
+        return QueryEngine(source, **engine_options)
 
     def register(self, name: str, source, *, replace: bool = False,
                  **engine_options) -> QueryEngine:
@@ -34,34 +56,61 @@ class ServingRegistry:
         """
         if not name:
             raise ParameterError("model name must be non-empty")
-        if name in self._engines and not replace:
-            raise ReproError(
-                f"model {name!r} already registered (pass replace=True)")
-        if isinstance(source, QueryEngine):
-            if engine_options:
-                raise ParameterError(
-                    "engine_options only apply when source is not "
-                    "already a QueryEngine")
-            engine = source
-        else:
-            engine = QueryEngine(source, **engine_options)
-        self._engines[name] = engine
+        # Fail fast on a taken name before paying for the index build;
+        # the insert below re-checks, since the lock is released during
+        # construction.
+        with self._lock:
+            if name in self._engines and not replace:
+                raise ReproError(
+                    f"model {name!r} already registered (pass replace=True)")
+        # Engine construction (index build) can be slow; do it outside
+        # the lock so concurrent queries to other models never stall.
+        engine = self._build(source, engine_options)
+        with self._lock:
+            if name in self._engines and not replace:
+                raise ReproError(
+                    f"model {name!r} already registered (pass replace=True)")
+            self._engines[name] = engine
+        return engine
+
+    def swap(self, name: str, source, **engine_options) -> QueryEngine:
+        """Atomically replace the live engine of ``name`` (hot swap).
+
+        The streaming tier's traffic flip: the replacement engine is
+        fully constructed first, then the name is repointed under the
+        lock. Unlike ``register(replace=True)`` the name must already be
+        registered — a swap is a refresh of live traffic, not a launch.
+        Returns the new engine; the old one serves any in-flight queries
+        to completion and is then garbage-collected.
+        """
+        engine = self._build(source, engine_options)
+        with self._lock:
+            if name not in self._engines:
+                raise ReproError(
+                    f"no model {name!r} to swap; register() it first "
+                    f"(have {sorted(self._engines)})")
+            self._engines[name] = engine
         return engine
 
     def get(self, name: str) -> QueryEngine:
-        try:
-            return self._engines[name]
-        except KeyError:
-            raise ReproError(
-                f"no model {name!r} registered; have {self.names()}"
-                ) from None
+        with self._lock:
+            try:
+                return self._engines[name]
+            except KeyError:
+                raise ReproError(
+                    f"no model {name!r} registered; have {self.names()}"
+                    ) from None
 
     def unregister(self, name: str) -> None:
-        self.get(name)
-        del self._engines[name]
+        with self._lock:
+            if name not in self._engines:
+                raise ReproError(
+                    f"no model {name!r} registered; have {self.names()}")
+            del self._engines[name]
 
     def names(self) -> list[str]:
-        return sorted(self._engines)
+        with self._lock:
+            return sorted(self._engines)
 
     # Convenience pass-throughs for the two serving calls.
     def topk(self, name: str, src_nodes, k: int = 10):
@@ -71,10 +120,12 @@ class ServingRegistry:
         return self.get(name).score(src, dst)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._engines
+        with self._lock:
+            return name in self._engines
 
     def __len__(self) -> int:
-        return len(self._engines)
+        with self._lock:
+            return len(self._engines)
 
 
 #: Process-wide convenience registry for applications that want one

@@ -14,25 +14,44 @@ worker that opens the same store. The store exposes the same attribute
 surface as :class:`repro.io.EmbeddingBundle` (``name``, ``directional``,
 ``embedding_`` / ``forward_`` / ``backward_``, ``metadata`` and the
 scoring methods), so anything that accepts a bundle accepts a store.
+
+**Versioned roots.** A streaming pipeline re-exports continuously, and
+a reader must never observe a half-written matrix set. Rather than
+mutate a live store, :func:`publish_version` writes each export into an
+immutable ``v000N/`` subdirectory of a *versioned root* and then
+atomically renames a one-line ``CURRENT`` pointer file onto the new
+version — the classic immutable-segment design. Readers resolve the
+pointer with :func:`open_current`; a reader that already mmap'd an
+older version keeps serving from it untouched (on POSIX even after the
+directory is pruned, until it drops the mapping).
 """
 
 from __future__ import annotations
 
 import json
+import shutil
 from pathlib import Path
 
 import numpy as np
 
 from ..embedder import ScoringMixin, has_custom_scoring
-from ..errors import ReproError
+from ..errors import ParameterError, ReproError
 from ..io import validate_embedding_matrices
 
-__all__ = ["EmbeddingStore", "export_store", "MANIFEST_NAME"]
+__all__ = ["EmbeddingStore", "export_store", "MANIFEST_NAME",
+           "CURRENT_NAME", "publish_version", "open_current",
+           "list_versions"]
 
 #: File name of the JSON manifest inside a store directory.
 MANIFEST_NAME = "store.json"
 
+#: Pointer file naming the live version inside a versioned root.
+CURRENT_NAME = "CURRENT"
+
 _FORMAT_VERSION = 1
+
+_VERSION_PREFIX = "v"
+_VERSION_DIGITS = 6
 
 
 def _matrix_files(directional: bool) -> tuple[str, ...]:
@@ -54,15 +73,21 @@ def _atomic_save(path: Path, array: np.ndarray) -> None:
 
 
 def export_store(source, root: str | Path, *,
-                 metadata: dict | None = None) -> "EmbeddingStore":
+                 metadata: dict | None = None,
+                 version: int | None = None) -> "EmbeddingStore":
     """Write a fitted embedder / loaded bundle as an mmap-able store.
 
     ``source`` is anything with ``name``, ``directional`` and the fitted
     matrices (an :class:`~repro.embedder.Embedder`, an
-    :class:`~repro.io.EmbeddingBundle`, or another store). Returns the
-    freshly opened store.
+    :class:`~repro.io.EmbeddingBundle`, or another store). ``version``
+    stamps the manifest with a monotonically increasing export number
+    (what :func:`publish_version` manages for you). Returns the freshly
+    opened store.
     """
     root = Path(root)
+    if version is not None and (int(version) != version or version < 1):
+        raise ParameterError(
+            f"version must be a positive integer or None, got {version!r}")
     directional = bool(getattr(source, "directional", False))
     name = getattr(source, "name", type(source).__name__)
     matrices = {key: getattr(source, f"{key}_", None)
@@ -91,6 +116,7 @@ def export_store(source, root: str | Path, *,
         "format": _FORMAT_VERSION,
         "name": name,
         "directional": directional,
+        "version": int(version) if version is not None else None,
         "lp_scoring": getattr(source, "lp_scoring", "inner"),
         "custom_scoring": has_custom_scoring(source),
         "num_nodes": int(first.shape[0]),
@@ -105,6 +131,92 @@ def export_store(source, root: str | Path, *,
         json.dump(manifest, fh, indent=2, sort_keys=True)
     tmp.replace(root / MANIFEST_NAME)
     return EmbeddingStore.open(root)
+
+
+# ----------------------------------------------------------------------
+# versioned store roots
+# ----------------------------------------------------------------------
+
+def _version_dir_name(version: int) -> str:
+    return f"{_VERSION_PREFIX}{version:0{_VERSION_DIGITS}d}"
+
+
+def list_versions(root: str | Path) -> list[int]:
+    """Version numbers present in a versioned root, ascending."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    versions = []
+    for child in root.iterdir():
+        name = child.name
+        if (child.is_dir() and name.startswith(_VERSION_PREFIX)
+                and name[len(_VERSION_PREFIX):].isdigit()
+                and (child / MANIFEST_NAME).is_file()):
+            versions.append(int(name[len(_VERSION_PREFIX):]))
+    return sorted(versions)
+
+
+def publish_version(root: str | Path, source, *,
+                    metadata: dict | None = None,
+                    keep: int | None = None) -> "EmbeddingStore":
+    """Export ``source`` as the next version of a versioned store root.
+
+    Writes a complete store into ``root/v000N/`` (N = one past the
+    newest existing version), then atomically renames the ``CURRENT``
+    pointer onto it — a reader resolving :func:`open_current` sees
+    either the old complete version or the new complete version, never
+    a torn directory. ``keep`` prunes all but the newest ``keep``
+    versions afterwards (the freshly published one is never pruned).
+    Returns the store opened at its versioned path.
+    """
+    root = Path(root)
+    if keep is not None and (int(keep) != keep or keep < 1):
+        raise ParameterError(
+            f"keep must be a positive integer or None, got {keep!r}")
+    root.mkdir(parents=True, exist_ok=True)
+    existing = list_versions(root)
+    version = (existing[-1] + 1) if existing else 1
+    store = export_store(source, root / _version_dir_name(version),
+                         metadata=metadata, version=version)
+    tmp = root / (CURRENT_NAME + ".tmp")
+    tmp.write_text(_version_dir_name(version) + "\n", encoding="utf-8")
+    tmp.replace(root / CURRENT_NAME)
+    if keep is not None:
+        for old in existing[:-(keep - 1)] if keep > 1 else existing:
+            shutil.rmtree(root / _version_dir_name(old), ignore_errors=True)
+    return store
+
+
+def open_current(root: str | Path, *, mmap: bool = True) -> "EmbeddingStore":
+    """Open the version the ``CURRENT`` pointer of ``root`` names.
+
+    Between reading the pointer and opening the store, a concurrent
+    :func:`publish_version` with an aggressive ``keep`` may prune the
+    named version; the open is retried against the re-read pointer so a
+    reader racing the publisher lands on the fresh version instead of
+    crashing on the vanished one.
+    """
+    root = Path(root)
+    last_exc: Exception | None = None
+    for _ in range(3):
+        pointer = root / CURRENT_NAME
+        if not pointer.is_file():
+            raise ReproError(f"not a versioned store root: {root} "
+                             f"(missing {CURRENT_NAME}; use publish_version)")
+        target = pointer.read_text(encoding="utf-8").strip()
+        if not target or "/" in target or "\\" in target or ".." in target:
+            raise ReproError(f"corrupt {CURRENT_NAME} pointer in {root}: "
+                             f"{target!r}")
+        try:
+            return EmbeddingStore.open(root / target, mmap=mmap)
+        except (ReproError, OSError) as exc:
+            if (root / target / MANIFEST_NAME).is_file():
+                raise        # version is there; the failure is real
+            last_exc = exc   # pruned under us: re-resolve the pointer
+    raise ReproError(
+        f"version named by {CURRENT_NAME} in {root} kept vanishing; "
+        f"is the publisher pruning with keep=1 under heavy churn?"
+        ) from last_exc
 
 
 class EmbeddingStore(ScoringMixin):
@@ -179,6 +291,12 @@ class EmbeddingStore(ScoringMixin):
     @property
     def dim(self) -> int:
         return int(self._manifest["dim"])
+
+    @property
+    def version(self) -> int | None:
+        """Export version stamped by :func:`publish_version` (else None)."""
+        value = self._manifest.get("version")
+        return int(value) if value is not None else None
 
     @property
     def mmapped(self) -> bool:

@@ -1,0 +1,40 @@
+"""Streaming updates: absorb edge deltas without a full refit.
+
+The third tier of the pipeline, alongside fit (:mod:`repro.core`) and
+serve (:mod:`repro.serving`). The paper's Appendix C evaluates NRP on
+*evolving* graphs; this package makes evolution a first-class workload:
+
+* :mod:`~repro.streaming.delta` — :class:`DeltaGraph`, an append-only
+  edge insert/delete log over the immutable CSR graph with batch
+  compaction;
+* :mod:`~repro.streaming.incremental` — :class:`IncrementalPPR`,
+  push-style local repair of the ApproxPPR factor sketches for the
+  nodes whose neighborhoods changed (fixed SVD basis, monitored
+  staleness);
+* :mod:`~repro.streaming.updater` — :class:`StreamingUpdater`, the
+  batch loop: log -> compact -> sketch repair ->
+  :meth:`repro.NRP.warm_refit` (drift-escalated) -> versioned publish /
+  registry hot-swap;
+* :mod:`repro.cli_stream` — the ``repro-stream`` command tailing an
+  edge-delta file into a versioned store root.
+
+Quickstart::
+
+    from repro import NRP
+    from repro.datasets import load_evolving_dataset
+    from repro.streaming import StreamingUpdater
+
+    data = load_evolving_dataset("vk_sim", scale=0.05)
+    model = NRP(dim=32, seed=0, keep_factor_state=True)
+    updater = StreamingUpdater(data.old_graph, model)
+    for batch in data.delta_batches(500):
+        stats = updater.apply_batch(batch.src, batch.dst)
+    store = updater.publish("vk_store/")       # next immutable version
+"""
+
+from .delta import DeltaGraph
+from .incremental import IncrementalPPR, changed_rows
+from .updater import StreamingConfig, StreamingUpdater
+
+__all__ = ["DeltaGraph", "IncrementalPPR", "changed_rows",
+           "StreamingConfig", "StreamingUpdater"]

@@ -106,3 +106,39 @@ def test_evolving_new_edges_triadic_bias():
 def test_unknown_evolving_dataset():
     with pytest.raises(ParameterError):
         load_evolving_dataset("myspace_sim")
+
+
+def test_delta_batches_cover_stream_in_order():
+    data = load_evolving_dataset("vk_sim", scale=0.05)
+    batches = list(data.delta_batches(97))
+    assert sum(b.size for b in batches) == data.num_new_edges
+    assert all(b.size == 97 for b in batches[:-1])
+    # timestamps are a monotone virtual clock ending at 1.0
+    stamps = [b.timestamp for b in batches]
+    assert all(0.0 < a < b for a, b in zip(stamps, stamps[1:]))
+    assert stamps[-1] == pytest.approx(1.0)
+    # the batched stream is a permutation of the monolithic arrays
+    src = np.concatenate([b.src for b in batches])
+    dst = np.concatenate([b.dst for b in batches])
+    n = data.old_graph.num_nodes
+    assert set((src * n + dst).tolist()) \
+        == set((data.new_src * n + data.new_dst).tolist())
+    # ...but NOT the sorted arc-key order (realistic arrival, not a sweep)
+    assert not np.array_equal(src, data.new_src)
+
+
+def test_delta_batches_deterministic_and_batchsize_invariant():
+    data = load_evolving_dataset("vk_sim", scale=0.05)
+    a = list(data.delta_batches(50))
+    b = list(data.delta_batches(50))
+    assert all(np.array_equal(x.src, y.src) for x, y in zip(a, b))
+    # a different batch size re-slices the SAME ordered stream
+    fine = list(data.delta_batches(25))
+    assert np.array_equal(np.concatenate([x.src for x in a]),
+                          np.concatenate([x.src for x in fine]))
+
+
+def test_delta_batches_validate_batch_size():
+    data = load_evolving_dataset("vk_sim", scale=0.05)
+    with pytest.raises(ParameterError):
+        next(data.delta_batches(0))

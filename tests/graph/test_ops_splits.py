@@ -140,3 +140,19 @@ def test_train_test_nodes_partition(frac):
     assert len(train) + len(test) == 100
     assert len(np.intersect1d(train, test)) == 0
     assert abs(len(train) - 100 * frac) <= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 4), st.booleans(), st.integers(0, 2**31 - 1))
+def test_add_arcs_inverts_remove_arcs(count, directed, seed):
+    """Property: removing arcs then re-adding them restores the CSR."""
+    graph = erdos_renyi(30, 120, directed=directed, seed=7)
+    rng = np.random.default_rng(seed)
+    src, dst = graph.edges()
+    pick = rng.choice(len(src), size=min(count, len(src)), replace=False)
+    removed = remove_arcs(graph, src[pick], dst[pick])
+    from repro.graph import add_arcs
+    restored = add_arcs(removed, src[pick], dst[pick])
+    assert np.array_equal(restored.indptr, graph.indptr)
+    assert np.array_equal(restored.indices, graph.indices)
+    restored._validate()

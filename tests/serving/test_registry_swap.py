@@ -1,0 +1,123 @@
+"""Thread-safety of the serving registry under hot swaps.
+
+The satellite contract: hot-swapping a model mid-query-stream never
+raises and never serves a torn store — every answer a query thread gets
+is internally consistent with exactly one registered model generation.
+Generations are made distinguishable by construction: generation ``g``
+embeds node ``v`` as a one-hot-ish vector scaled by ``g + 1``, so any
+mixing of generations inside one answer is detectable from the scores.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.io import EmbeddingBundle
+from repro.serving import QueryEngine, ServingRegistry
+
+
+def _generation_bundle(generation: int, n: int = 64, dim: int = 8):
+    rng = np.random.default_rng(7)          # same geometry every gen
+    base = rng.standard_normal((n, dim))
+    z = (generation + 1.0) * base
+    return EmbeddingBundle(name=f"gen{generation}", directional=False,
+                           embedding=z)
+
+
+def test_swap_requires_registered_name():
+    reg = ServingRegistry()
+    with pytest.raises(ReproError, match="register"):
+        reg.swap("live", _generation_bundle(0))
+    reg.register("live", _generation_bundle(0))
+    engine = reg.swap("live", _generation_bundle(1))
+    assert reg.get("live") is engine
+    assert isinstance(engine, QueryEngine)
+
+
+def test_swap_passes_engine_through():
+    reg = ServingRegistry()
+    reg.register("live", _generation_bundle(0))
+    prebuilt = QueryEngine(_generation_bundle(1))
+    assert reg.swap("live", prebuilt) is prebuilt
+
+
+def test_hot_swap_mid_query_stream_is_never_torn():
+    """Readers hammer topk/score while a writer swaps generations."""
+    n, k = 64, 5
+    generations = 30
+    reg = ServingRegistry()
+    reg.register("live", _generation_bundle(0))
+    probe = np.arange(8)
+    base_engine = QueryEngine(_generation_bundle(0), cache_size=0)
+    _, base_scores = base_engine.topk(probe, k)
+
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def reader():
+        rng = np.random.default_rng()
+        try:
+            while not stop.is_set():
+                ids, scores = reg.topk("live", probe, k)
+                assert ids.shape == (len(probe), k)
+                # scores of one answer must all come from ONE generation:
+                # score(gen g) = (g+1)^2 * score(gen 0), so the implied
+                # generation per row must agree across the whole batch.
+                ratio = scores / base_scores
+                implied = np.sqrt(np.abs(ratio))
+                spread = implied.max() - implied.min()
+                assert spread < 1e-6, f"torn answer: {implied}"
+                src = rng.integers(0, n, 4)
+                dst = rng.integers(0, n, 4)
+                reg.score("live", src, dst)
+        except BaseException as exc:   # noqa: BLE001 - collected for assert
+            errors.append(exc)
+
+    def writer():
+        try:
+            for g in range(1, generations):
+                reg.swap("live", _generation_bundle(g), cache_size=0)
+        except BaseException as exc:   # noqa: BLE001
+            errors.append(exc)
+
+    readers = [threading.Thread(target=reader) for _ in range(4)]
+    w = threading.Thread(target=writer)
+    for t in readers:
+        t.start()
+    w.start()
+    w.join()
+    stop.set()
+    for t in readers:
+        t.join()
+    assert not errors, f"hot swap raced a query: {errors[:1]}"
+    # the registry settled on the last generation
+    _, final_scores = reg.topk("live", probe, k)
+    np.testing.assert_allclose(final_scores,
+                               generations ** 2 * base_scores, rtol=1e-9)
+
+
+def test_concurrent_register_replace_and_get():
+    reg = ServingRegistry()
+    reg.register("m", _generation_bundle(0))
+    errors = []
+
+    def churn(i):
+        try:
+            for _ in range(20):
+                reg.register("m", _generation_bundle(i), replace=True,
+                             cache_size=0)
+                assert "m" in reg
+                assert reg.names() == ["m"]
+                reg.get("m")
+        except BaseException as exc:   # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=churn, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(reg) == 1

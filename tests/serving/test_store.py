@@ -145,3 +145,55 @@ def test_reexport_store_onto_itself(tmp_path, nrp_model):
 def test_export_unfitted_raises(tmp_path):
     with pytest.raises(ReproError):
         export_store(NRP(dim=8), tmp_path / "store")
+
+
+# ---------------------------------------------------------------- versions
+def test_export_store_version_stamp(tmp_path, nrp_model):
+    from repro.serving import export_store as serving_export
+    store = serving_export(nrp_model, tmp_path / "s", version=7)
+    assert store.version == 7
+    plain = serving_export(nrp_model, tmp_path / "p")
+    assert plain.version is None
+    from repro.errors import ParameterError
+    with pytest.raises(ParameterError, match="version"):
+        serving_export(nrp_model, tmp_path / "bad", version=0)
+
+
+def test_publish_version_sequence_and_pointer(tmp_path, nrp_model):
+    from repro.serving import (CURRENT_NAME, list_versions, open_current,
+                               publish_version)
+    root = tmp_path / "root"
+    assert list_versions(root) == []
+    first = publish_version(root, nrp_model)
+    assert first.version == 1 and first.root == root / "v000001"
+    second = publish_version(root, nrp_model, metadata={"gen": 2})
+    assert list_versions(root) == [1, 2]
+    assert (root / CURRENT_NAME).read_text().strip() == "v000002"
+    current = open_current(root)
+    assert current.version == 2 and current.metadata["gen"] == 2
+    # older versions remain intact and openable (immutable segments)
+    assert EmbeddingStore.open(root / "v000001").version == 1
+
+
+def test_publish_version_keep_prunes(tmp_path, nrp_model):
+    from repro.serving import list_versions, open_current, publish_version
+    root = tmp_path / "root"
+    for _ in range(4):
+        publish_version(root, nrp_model, keep=2)
+    assert list_versions(root) == [3, 4]
+    assert open_current(root).version == 4
+    from repro.errors import ParameterError
+    with pytest.raises(ParameterError, match="keep"):
+        publish_version(root, nrp_model, keep=0)
+
+
+def test_open_current_requires_pointer(tmp_path, nrp_model):
+    from repro.serving import open_current
+    with pytest.raises(ReproError, match="CURRENT"):
+        open_current(tmp_path / "nowhere")
+    # a corrupt pointer is rejected rather than path-traversed
+    root = tmp_path / "root"
+    root.mkdir()
+    (root / "CURRENT").write_text("../evil\n")
+    with pytest.raises(ReproError, match="corrupt"):
+        open_current(root)

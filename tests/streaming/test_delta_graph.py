@@ -1,0 +1,170 @@
+"""Tests for graph.ops.add_arcs and the DeltaGraph edge log."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import add_arcs, from_edges, remove_arcs
+from repro.streaming import DeltaGraph
+
+
+# ---------------------------------------------------------------- add_arcs
+def test_add_arcs_undirected(fig1):
+    assert not fig1.has_edge(1, 3)
+    g = add_arcs(fig1, [1], [3])
+    assert g.has_arc(1, 3) and g.has_arc(3, 1)
+    assert g.num_edges == fig1.num_edges + 1
+    assert not g.directed
+    g._validate()                      # CSR sorted/unique invariants hold
+
+
+def test_add_arcs_directed(tiny_directed):
+    assert not tiny_directed.has_arc(1, 0)
+    g = add_arcs(tiny_directed, [1, 3], [0, 0])
+    assert g.has_arc(1, 0) and g.has_arc(3, 0)
+    assert not g.has_arc(0, 3)         # no silent symmetrization
+    assert g.num_arcs == tiny_directed.num_arcs + 2
+    g._validate()
+
+
+def test_add_arcs_roundtrips_with_remove(fig1):
+    g = remove_arcs(fig1, [0, 0], [1, 2])
+    back = add_arcs(g, [0, 0], [1, 2])
+    assert np.array_equal(back.indptr, fig1.indptr)
+    assert np.array_equal(back.indices, fig1.indices)
+
+
+def test_add_arcs_empty_is_copy(fig1):
+    g = add_arcs(fig1, [], [])
+    assert g is not fig1
+    assert np.array_equal(g.indices, fig1.indices)
+
+
+def test_add_arcs_rejects_existing(fig1):
+    with pytest.raises(ParameterError, match="already present"):
+        add_arcs(fig1, [0], [1])
+
+
+def test_add_arcs_rejects_reverse_of_existing_undirected(fig1):
+    # (1, 0) aliases the existing undirected edge {0, 1}
+    with pytest.raises(ParameterError, match="already present"):
+        add_arcs(fig1, [1], [0])
+
+
+def test_add_arcs_rejects_duplicates_in_request(fig1):
+    with pytest.raises(ParameterError, match="duplicate"):
+        add_arcs(fig1, [1, 1], [3, 3])
+    # undirected: (u, v) and (v, u) in one request alias one edge
+    with pytest.raises(ParameterError, match="duplicate"):
+        add_arcs(fig1, [1, 3], [3, 1])
+
+
+def test_add_arcs_rejects_out_of_range_and_self_loops(fig1):
+    with pytest.raises(ParameterError, match="out of range"):
+        add_arcs(fig1, [0], [fig1.num_nodes])
+    with pytest.raises(ParameterError, match="out of range"):
+        add_arcs(fig1, [-1], [0])
+    with pytest.raises(ParameterError, match="self loop"):
+        add_arcs(fig1, [2], [2])
+
+
+def test_add_arcs_mismatched_lengths(fig1):
+    with pytest.raises(ParameterError, match="equal length"):
+        add_arcs(fig1, [0, 1], [3])
+
+
+# ---------------------------------------------------------------- DeltaGraph
+def test_delta_log_and_compact_undirected(fig1):
+    dg = DeltaGraph(fig1)
+    dg.add_edges([1], [3])
+    dg.remove_edges([0], [1])
+    assert dg.num_pending == 4          # two edges = four arcs
+    assert set(dg.touched_nodes().tolist()) == {0, 1, 3}
+    g = dg.compact()
+    assert g.has_edge(1, 3) and not g.has_edge(0, 1)
+    assert g.num_edges == fig1.num_edges
+    assert dg.num_pending == 0 and dg.base is g
+    g._validate()
+
+
+def test_delta_compact_directed(tiny_directed):
+    dg = DeltaGraph(tiny_directed)
+    dg.add_edges([1], [0])
+    dg.remove_edges([0], [1])
+    g = dg.compact()
+    assert g.has_arc(1, 0) and not g.has_arc(0, 1)
+    assert g.num_arcs == tiny_directed.num_arcs
+
+
+def test_delta_insert_then_delete_cancels(fig1):
+    dg = DeltaGraph(fig1)
+    dg.add_edges([1], [3])
+    dg.remove_edges([1], [3])
+    assert dg.num_pending == 0
+    g = dg.compact()
+    assert np.array_equal(g.indices, fig1.indices)
+
+
+def test_delta_delete_then_insert_restores(fig1):
+    dg = DeltaGraph(fig1)
+    dg.remove_edges([0], [1])
+    dg.add_edges([0], [1])
+    assert dg.num_pending == 0
+
+
+def test_delta_rejects_double_insert(fig1):
+    dg = DeltaGraph(fig1)
+    dg.add_edges([1], [3])
+    with pytest.raises(ParameterError, match="already present"):
+        dg.add_edges([1], [3])
+    with pytest.raises(ParameterError, match="already present"):
+        dg.add_edges([3], [1])          # reverse aliases the same edge
+    # existing base edges are also rejected
+    with pytest.raises(ParameterError, match="already present"):
+        dg.add_edges([0], [1])
+
+
+def test_delta_rejects_deleting_absent(fig1):
+    dg = DeltaGraph(fig1)
+    with pytest.raises(ParameterError, match="not present"):
+        dg.remove_edges([1], [3])
+    dg.remove_edges([0], [1])
+    with pytest.raises(ParameterError, match="not present"):
+        dg.remove_edges([0], [1])
+
+
+def test_delta_rejected_call_leaves_log_untouched(fig1):
+    dg = DeltaGraph(fig1)
+    with pytest.raises(ParameterError):
+        dg.add_edges([1, 0], [3, 1])    # second pair already present
+    assert dg.num_pending == 0
+    assert len(dg.touched_nodes()) == 0
+
+
+def test_delta_validates_endpoints(fig1):
+    dg = DeltaGraph(fig1)
+    with pytest.raises(ParameterError, match="out of range"):
+        dg.add_edges([0], [99])
+    with pytest.raises(ParameterError, match="self loop"):
+        dg.add_edges([4], [4])
+
+
+def test_delta_matches_batch_rebuild():
+    rng = np.random.default_rng(7)
+    n = 40
+    src = rng.integers(0, n, 120)
+    dst = rng.integers(0, n, 120)
+    keep = src != dst
+    base = from_edges(n, src[keep], dst[keep], directed=True)
+    dg = DeltaGraph(base)
+    all_src, all_dst = base.arcs()
+    dg.remove_edges(all_src[:5], all_dst[:5])
+    new = [(0, 39), (39, 0), (17, 23)]
+    new = [(u, v) for u, v in new if not base.has_arc(u, v)]
+    dg.add_edges([u for u, _ in new], [v for _, v in new])
+    g = dg.compact()
+    ref_src = np.concatenate([all_src[5:], [u for u, _ in new]])
+    ref_dst = np.concatenate([all_dst[5:], [v for _, v in new]])
+    ref = from_edges(n, ref_src, ref_dst, directed=True)
+    assert np.array_equal(g.indptr, ref.indptr)
+    assert np.array_equal(g.indices, ref.indices)
