@@ -1,0 +1,156 @@
+"""Scatter-gather serving throughput vs. shard count (PR-4 acceptance).
+
+Builds one embedding database (default 50k nodes x 64 dims) and serves
+an identical batched top-k query storm — generated with the shared
+stress harness (``tests/stress/harness.py``) — through engines sharded
+1/2/4/8 ways, plus the flat single-index engine as the baseline. The
+storm runs several reader threads issuing Zipf-skewed query batches,
+matching how production traffic concentrates on hot sources; caches are
+disabled so the numbers measure retrieval, not memoization.
+
+Per shard count it records queries/sec, speedup over the 1-shard
+engine, and the parity check against the flat engine (ids must match
+exactly on a probe batch). Everything lands in
+``benchmarks/results/sharded_serving.json`` for CI's slow job to
+archive next to the fit-scaling and streaming artifacts.
+
+The acceptance assert — 4 shards >= 1.5x the single-shard engine at
+>= 50k nodes — only fires when the machine can actually scatter in
+parallel (>= 4 usable CPUs): per-shard GEMMs on one core add up to the
+same arithmetic, so a single-core container measures overhead, not
+scaling, and just records the numbers.
+
+Runnable standalone (``python benchmarks/bench_sharded_serving.py``)
+or via pytest (marked ``slow``).
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "tests" / "stress"))
+from harness import run_storm                               # noqa: E402
+
+from repro.bench import bench_scale, format_table           # noqa: E402
+from repro.io import EmbeddingBundle                        # noqa: E402
+from repro.parallel import available_cpus                   # noqa: E402
+from repro.serving import (QueryEngine,                     # noqa: E402
+                           ShardedQueryEngine)
+
+try:
+    from conftest import report
+except ImportError:      # standalone script mode
+    def report(name, block):
+        print(block)
+
+pytestmark = pytest.mark.slow
+
+NUM_NODES = 50_000
+DIM = 64
+K = 10
+BATCH = 64
+THREADS = 4
+STORM_SECONDS = 2.0
+SHARD_COUNTS = (1, 2, 4, 8)
+SEED = 0
+RESULTS_PATH = Path(__file__).parent / "results" / "sharded_serving.json"
+
+
+def _database(n: int) -> EmbeddingBundle:
+    rng = np.random.default_rng(SEED)
+    return EmbeddingBundle(
+        name="bench", directional=False,
+        embedding=rng.standard_normal((n, DIM)) / np.sqrt(DIM))
+
+
+def _zipf_batches(n: int, batches: int) -> np.ndarray:
+    """Skewed query traffic: a few hot sources dominate, like prod."""
+    rng = np.random.default_rng(SEED + 1)
+    ranks = rng.zipf(1.3, size=(batches, BATCH))
+    return ((ranks - 1) % n).astype(np.int64)
+
+
+def _throughput(engine, batches: np.ndarray) -> float:
+    """Batched queries/sec under a multi-threaded storm."""
+    num_batches = len(batches)
+
+    def work(tid, i, rng):
+        batch = batches[(tid * 7919 + i) % num_batches]
+        ids, _ = engine.topk(batch, K)
+        assert ids.shape == (BATCH, K)
+
+    result = run_storm(work, threads=THREADS, duration=STORM_SECONDS)
+    result.raise_errors()
+    return result.total_ops * BATCH / result.seconds
+
+
+def run_bench(scale: float | None = None) -> dict:
+    scale = bench_scale() if scale is None else scale
+    n = max(1000, int(NUM_NODES * scale))
+    source = _database(n)
+    batches = _zipf_batches(n, 256)
+    probe = batches[0]
+
+    flat = QueryEngine(source, cache_size=0)
+    flat_ids, _ = flat.topk(probe, K)
+    flat_qps = _throughput(flat, batches)
+
+    rows = []
+    by_shards = {}
+    for num_shards in SHARD_COUNTS:
+        engine = ShardedQueryEngine(source, shards=num_shards,
+                                    cache_size=0)
+        ids, _ = engine.topk(probe, K)
+        parity = bool(np.array_equal(ids, flat_ids))
+        qps = _throughput(engine, batches)
+        by_shards[num_shards] = {"qps": round(qps, 1), "parity": parity,
+                                 "workers": engine.index.workers}
+        rows.append([str(num_shards), f"{qps:,.0f}", "", "yes" if parity
+                     else "NO"])
+
+    base_qps = by_shards[SHARD_COUNTS[0]]["qps"]
+    for row, num_shards in zip(rows, SHARD_COUNTS):
+        entry = by_shards[num_shards]
+        entry["speedup_vs_1shard"] = round(entry["qps"] / base_qps, 2)
+        row[2] = f"{entry['speedup_vs_1shard']:.2f}x"
+
+    record = {
+        "num_nodes": n, "dim": DIM, "k": K, "batch": BATCH,
+        "threads": THREADS, "scale": scale, "cpus": available_cpus(),
+        "flat_qps": round(flat_qps, 1),
+        "by_shards": {str(s): by_shards[s] for s in SHARD_COUNTS},
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n",
+                            encoding="utf-8")
+
+    title = (f"Sharded scatter-gather throughput "
+             f"(n={n:,}, dim={DIM}, k={K}, batch={BATCH}, "
+             f"{THREADS} reader threads, {available_cpus()} CPUs, "
+             f"flat engine {flat_qps:,.0f} q/s)")
+    table = format_table(["shards", "queries/s", "vs 1 shard", "parity"],
+                         rows)
+    report("sharded_serving", title + "\n" + table)
+    return record
+
+
+def test_sharded_serving_throughput():
+    record = run_bench()
+    for entry in record["by_shards"].values():
+        assert entry["parity"], "sharded results diverged from flat engine"
+        assert entry["qps"] > 0
+    if record["num_nodes"] >= 50_000 and record["cpus"] >= 4:
+        # acceptance criterion: scatter-gather actually scales once
+        # there are cores to scatter onto
+        assert record["by_shards"]["4"]["speedup_vs_1shard"] >= 1.5, (
+            f"4-shard engine only "
+            f"{record['by_shards']['4']['speedup_vs_1shard']}x the "
+            f"single-shard engine")
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2))

@@ -94,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--keep-versions", type=int, default=None,
                         help="prune the store root to its newest N "
                              "versions after each publish")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="publish each version as N node-range "
+                             "shards (default: one flat store)")
     parser.add_argument("--follow", action="store_true",
                         help="poll the delta file for appended lines "
                              "instead of stopping at EOF")
@@ -155,7 +158,8 @@ def _flush_batch(updater, batch: list[tuple[int, int, int]],
     stats = updater.apply_batch(
         [u for u, _ in add], [v for _, v in add],
         remove_src=[u for u, _ in rem], remove_dst=[v for _, v in rem])
-    store = updater.publish(args.store, keep=args.keep_versions)
+    store = updater.publish(args.store, keep=args.keep_versions,
+                            shards=args.shards)
     stats.update({"event": "batch", "version": store.version,
                   "store": str(store.root)})
     return stats
@@ -168,6 +172,8 @@ def run_stream(args) -> int:
 
     if args.batch_size < 1:
         raise ParameterError("--batch-size must be >= 1")
+    if args.shards is not None and args.shards < 1:
+        raise ParameterError("--shards must be >= 1")
     start = time.perf_counter()
     graph = read_edge_list(args.edgelist, directed=args.directed,
                            num_nodes=args.num_nodes)
@@ -188,7 +194,8 @@ def run_stream(args) -> int:
     _emit({"event": "fit", "num_nodes": graph.num_nodes,
            "num_edges": graph.num_edges,
            "seconds": round(time.perf_counter() - start, 3)})
-    store = updater.publish(args.store, keep=args.keep_versions)
+    store = updater.publish(args.store, keep=args.keep_versions,
+                            shards=args.shards)
     _emit({"event": "publish", "version": store.version,
            "store": str(store.root)})
 

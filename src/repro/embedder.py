@@ -95,18 +95,24 @@ class ScoringMixin:
         return self.embedding_ @ self.embedding_[src]
 
     def to_serving(self, *, index: str = "exact", cache_size: int = 1024,
-                   **index_options):
-        """Build a :class:`repro.serving.QueryEngine` over this model.
+                   engine: str = "auto", shards: int | None = None,
+                   workers: int | None = None, **index_options):
+        """Build a serving engine over this model.
 
         The engine answers batched ``topk(src_nodes, k)`` and
         ``score(src, dst)`` queries; ``index`` selects the retrieval
         backend (``"exact"`` or ``"ivf"``), remaining keyword arguments
-        are forwarded to it.
+        are forwarded to it. ``engine`` picks the flavor: ``"flat"``
+        (one index), ``"sharded"`` (node-range scatter-gather), or
+        ``"auto"`` — sharded exactly when ``shards=N`` is given.
+        ``shards`` range-partitions the fitted matrix in memory;
+        ``workers`` sizes the sharded engine's scatter thread pool.
         """
-        from .serving import QueryEngine   # local import, avoids cycle
+        from .serving import make_engine   # local import, avoids cycle
         self._require_fitted()
-        return QueryEngine(self, index=index, cache_size=cache_size,
-                           **index_options)
+        return make_engine(self, engine=engine, shards=shards,
+                           workers=workers, index=index,
+                           cache_size=cache_size, **index_options)
 
     def export_store(self, root, *, metadata: dict | None = None):
         """Write this fitted model as an mmap-able serving store.

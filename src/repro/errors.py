@@ -24,3 +24,33 @@ class ConvergenceError(ReproError):
 
 class DimensionError(ReproError):
     """Array shapes passed to an API are inconsistent with each other."""
+
+
+class StoreError(ReproError):
+    """A serving store on disk cannot be opened as described."""
+
+
+class StoreCorruptError(StoreError):
+    """A store file is truncated, torn, or disagrees with its manifest.
+
+    Raised when bytes on disk cannot back the matrices the manifest
+    promises — a half-copied shard, a partially overwritten matrix, or
+    a manifest written by an interrupted export.
+    """
+
+
+class ShardLayoutError(StoreError):
+    """A sharded store's manifest and its shard directories disagree.
+
+    Raised for missing/extra shard directories, non-contiguous node
+    ranges, or per-shard manifests inconsistent with the shard map.
+    """
+
+
+class StalePointerError(StoreError):
+    """A versioned root's ``CURRENT`` pointer names a missing version.
+
+    Distinct from a transient publish race: the named version directory
+    does not exist at all, so retrying cannot help — the pointer itself
+    is stale (e.g. the version was pruned by hand).
+    """

@@ -4,12 +4,19 @@ The offline pipeline (fit -> :func:`repro.io.save_embeddings`) ends with
 matrices on disk; this package is everything after that:
 
 * :mod:`~repro.serving.store` — mmap-backed on-disk matrix store shared
-  across worker processes;
+  across worker processes, plus versioned roots with an atomic
+  ``CURRENT`` pointer;
+* :mod:`~repro.serving.sharding` — node-range sharding of a store
+  (:class:`ShardedEmbeddingStore`), the single-machine-ceiling
+  escape hatch;
 * :mod:`~repro.serving.index` — exact and IVF-approximate top-k
   maximum-inner-product indexes;
 * :mod:`~repro.serving.engine` — :class:`QueryEngine`, the batched
   ``topk`` / ``score`` facade with an LRU result cache;
-* :mod:`~repro.serving.registry` — named multi-model registry;
+* :mod:`~repro.serving.router` — :class:`ShardRouter` scatter-gather
+  and the :class:`ShardedQueryEngine` drop-in;
+* :mod:`~repro.serving.registry` — named multi-model registry with
+  atomic hot swaps;
 * :mod:`~repro.serving.cli` — the ``repro-serve`` command.
 
 Quickstart::
@@ -18,7 +25,7 @@ Quickstart::
     from repro.graph import powerlaw_community
 
     graph, _ = powerlaw_community(2000, 12000, seed=0)
-    engine = NRP(dim=32, seed=0).fit(graph).to_serving()
+    engine = NRP(dim=32, seed=0).fit(graph).to_serving(shards=4)
     neighbors, scores = engine.topk(0, k=10)
 """
 
@@ -26,12 +33,17 @@ from .engine import CacheStats, QueryEngine
 from .index import (INDEX_KINDS, ExactIndex, IVFIndex, TopKIndex,
                     build_index)
 from .registry import DEFAULT_REGISTRY, ServingRegistry
-from .store import (CURRENT_NAME, MANIFEST_NAME, EmbeddingStore,
-                    export_store, list_versions, open_current,
-                    publish_version)
+from .router import ShardedQueryEngine, ShardRouter, make_engine
+from .sharding import (ShardedEmbeddingStore, ShardedMatrix,
+                       shard_boundaries, shard_store)
+from .store import (CURRENT_NAME, MANIFEST_NAME, SHARDS_NAME,
+                    EmbeddingStore, export_store, list_versions,
+                    open_current, open_store, publish_version)
 
 __all__ = ["QueryEngine", "CacheStats", "TopKIndex", "ExactIndex",
            "IVFIndex", "build_index", "INDEX_KINDS", "EmbeddingStore",
-           "export_store", "MANIFEST_NAME", "CURRENT_NAME",
-           "publish_version", "open_current", "list_versions",
-           "ServingRegistry", "DEFAULT_REGISTRY"]
+           "export_store", "MANIFEST_NAME", "SHARDS_NAME", "CURRENT_NAME",
+           "publish_version", "open_current", "open_store", "list_versions",
+           "ServingRegistry", "DEFAULT_REGISTRY", "ShardRouter",
+           "ShardedQueryEngine", "make_engine", "ShardedEmbeddingStore",
+           "ShardedMatrix", "shard_store", "shard_boundaries"]

@@ -1,14 +1,19 @@
 """``repro-serve``: build and query embedding stores from the shell.
 
-Three subcommands cover the offline -> online hand-off:
+Four subcommands cover the offline -> online hand-off:
 
-* ``repro-serve export BUNDLE.npz STORE_DIR`` — convert a compressed
-  bundle written by :func:`repro.io.save_embeddings` into an mmap-able
-  :class:`~repro.serving.store.EmbeddingStore` directory;
-* ``repro-serve info STORE_DIR`` — print a store's manifest;
+* ``repro-serve export BUNDLE.npz STORE_DIR [--shards N]`` — convert a
+  compressed bundle written by :func:`repro.io.save_embeddings` into an
+  mmap-able :class:`~repro.serving.store.EmbeddingStore` directory
+  (sharded into ``N`` node ranges when ``--shards`` is given);
+* ``repro-serve shard STORE_DIR OUT_DIR --shards N`` — re-export an
+  existing store (flat or sharded) as ``N`` node-range shards;
+* ``repro-serve info STORE_DIR`` — print a store's manifest (flat or
+  sharded, auto-detected);
 * ``repro-serve query STORE_DIR --nodes 3,17 -k 10`` — answer top-k
   queries against a store, optionally through the approximate backend
-  (``--index ivf --nprobe 16``).
+  (``--index ivf --nprobe 16``); sharded stores scatter-gather across
+  their shards (``--workers`` sizes the fan-out pool).
 
 Installed as a console script by ``setup.py``; also runnable as
 ``python -m repro.serving.cli``.
@@ -36,12 +41,22 @@ def build_parser() -> argparse.ArgumentParser:
         "export", help="convert a .npz bundle into an mmap store directory")
     p_export.add_argument("bundle", help="path to a save_embeddings() .npz")
     p_export.add_argument("store", help="output store directory")
+    p_export.add_argument("--shards", type=int, default=None,
+                          help="write N node-range shards instead of one "
+                               "flat store")
+
+    p_shard = sub.add_parser(
+        "shard", help="re-export an existing store as node-range shards")
+    p_shard.add_argument("store", help="source store directory")
+    p_shard.add_argument("out", help="output sharded store directory")
+    p_shard.add_argument("--shards", type=int, required=True,
+                         help="number of node-range shards")
 
     p_info = sub.add_parser("info", help="print a store's manifest")
-    p_info.add_argument("store", help="store directory")
+    p_info.add_argument("store", help="store directory (flat or sharded)")
 
     p_query = sub.add_parser("query", help="top-k neighbors for nodes")
-    p_query.add_argument("store", help="store directory")
+    p_query.add_argument("store", help="store directory (flat or sharded)")
     p_query.add_argument("--nodes", required=True,
                          help="comma-separated source node ids")
     p_query.add_argument("-k", type=int, default=10,
@@ -53,33 +68,59 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ivf: number of k-means partitions")
     p_query.add_argument("--nprobe", type=int, default=None,
                          help="ivf: partitions probed per query")
+    p_query.add_argument("--workers", type=int, default=None,
+                         help="sharded stores: scatter-gather threads "
+                              "(default: one per shard, CPU-capped)")
     return parser
 
 
 def _cmd_export(args) -> int:
     from ..io import load_embeddings
+    from .sharding import shard_store
     from .store import export_store
     bundle = load_embeddings(args.bundle)
-    store = export_store(bundle, args.store)
-    print(f"exported {store.name}: {store.num_nodes} nodes x "
-          f"{store.dim} dims -> {store.root}")
+    if args.shards is not None:
+        store = shard_store(bundle, args.store, num_shards=args.shards)
+        print(f"exported {store.name}: {store.num_nodes} nodes x "
+              f"{store.dim} dims in {store.num_shards} shards -> "
+              f"{store.root}")
+    else:
+        store = export_store(bundle, args.store)
+        print(f"exported {store.name}: {store.num_nodes} nodes x "
+              f"{store.dim} dims -> {store.root}")
+    return 0
+
+
+def _cmd_shard(args) -> int:
+    from .sharding import shard_store
+    from .store import open_store
+    source = open_store(args.store)
+    store = shard_store(source, args.out, num_shards=args.shards)
+    print(f"sharded {store.name}: {store.num_nodes} nodes -> "
+          f"{store.num_shards} shards under {store.root}")
     return 0
 
 
 def _cmd_info(args) -> int:
-    from .store import EmbeddingStore
-    store = EmbeddingStore.open(args.store)
+    from .store import open_store
+    store = open_store(args.store)
     info = {"name": store.name, "directional": store.directional,
             "num_nodes": store.num_nodes, "dim": store.dim,
             "mmapped": store.mmapped,
             "metadata": {k: v for k, v in store.metadata.items()
                          if isinstance(v, (str, int, float, bool))}}
+    shards = getattr(store, "num_shards", None)
+    if shards is not None:
+        info["num_shards"] = shards
+        info["shard_ranges"] = [[int(lo), int(hi)] for lo, hi in
+                                zip(store.boundaries[:-1],
+                                    store.boundaries[1:])]
     print(json.dumps(info, indent=2, sort_keys=True))
     return 0
 
 
 def _cmd_query(args) -> int:
-    from .store import EmbeddingStore
+    from .store import open_store
     try:
         nodes = [int(tok) for tok in args.nodes.split(",") if tok.strip()]
     except ValueError:
@@ -87,7 +128,8 @@ def _cmd_query(args) -> int:
                          f"got {args.nodes!r}") from None
     if not nodes:
         raise ReproError("--nodes must name at least one node")
-    store = EmbeddingStore.open(args.store)
+    store = open_store(args.store)
+    sharded = getattr(store, "num_shards", None) is not None
     index_options = {}
     if args.num_lists is not None:
         index_options["num_lists"] = args.num_lists
@@ -97,6 +139,10 @@ def _cmd_query(args) -> int:
         raise ReproError(
             f"{'/'.join('--' + key.replace('_', '-') for key in index_options)}"
             f" requires --index ivf (got --index {args.index})")
+    if args.workers is not None and not sharded:
+        raise ReproError("--workers requires a sharded store")
+    if sharded:
+        index_options["workers"] = args.workers
     engine = store.to_serving(index=args.index, **index_options)
     ids, scores = engine.topk(nodes, k=args.k)
     for node, row_ids, row_scores in zip(nodes, ids, scores):
@@ -108,7 +154,8 @@ def _cmd_query(args) -> int:
     return 0
 
 
-_COMMANDS = {"export": _cmd_export, "info": _cmd_info, "query": _cmd_query}
+_COMMANDS = {"export": _cmd_export, "shard": _cmd_shard,
+             "info": _cmd_info, "query": _cmd_query}
 
 
 def main(argv: list[str] | None = None) -> int:

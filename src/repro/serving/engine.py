@@ -82,17 +82,7 @@ class QueryEngine:
         self.name: str = getattr(source, "name", type(source).__name__)
         self.directional: bool = bool(getattr(source, "directional", False))
         self.source = source
-        if isinstance(index, TopKIndex):
-            if index_options:
-                raise ParameterError(
-                    "index_options only apply when building by kind name")
-            if index.num_items != self._database.shape[0]:
-                raise ParameterError(
-                    f"prebuilt index holds {index.num_items} items but the "
-                    f"model has {self._database.shape[0]} nodes")
-            self.index = index
-        else:
-            self.index = build_index(self._database, index, **index_options)
+        self.index = self._make_index(index, index_options)
         if cache_size < 0:
             raise ParameterError("cache_size must be >= 0")
         self._cache_capacity = int(cache_size)
@@ -106,6 +96,24 @@ class QueryEngine:
         self._cache_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+
+    def _make_index(self, index, index_options: dict):
+        """Build (or validate) the top-k backend for ``self._database``.
+
+        Subclasses override this to route retrieval differently (the
+        sharded engine swaps in a scatter-gather router) while keeping
+        the batching/LRU machinery of this class untouched.
+        """
+        if isinstance(index, TopKIndex):
+            if index_options:
+                raise ParameterError(
+                    "index_options only apply when building by kind name")
+            if index.num_items != self._database.shape[0]:
+                raise ParameterError(
+                    f"prebuilt index holds {index.num_items} items but the "
+                    f"model has {self._database.shape[0]} nodes")
+            return index
+        return build_index(self._database, index, **index_options)
 
     # ------------------------------------------------------------------
     @property

@@ -43,7 +43,11 @@ class ServingRegistry:
                     "engine_options only apply when source is not "
                     "already a QueryEngine")
             return source
-        return QueryEngine(source, **engine_options)
+        # engine= / shards= / workers= route through the factory, so a
+        # sharded store registers as a scatter-gather engine without the
+        # caller caring which flavor it gets back.
+        from .router import make_engine   # local import, avoids cycle
+        return make_engine(source, **engine_options)
 
     def register(self, name: str, source, *, replace: bool = False,
                  **engine_options) -> QueryEngine:

@@ -1,0 +1,236 @@
+"""Scatter-gather top-k routing across node-range shards.
+
+The online half of sharded serving. A top-k query against a sharded
+store fans out to one retrieval index per shard (each an ordinary
+:class:`~repro.serving.index.TopKIndex` over that shard's database
+rows), runs the per-shard searches on a thread pool, and k-way-merges
+the partial top-k heaps into the global answer:
+
+* the global top-k is exactly the top-k of the union of per-shard
+  top-k's — a row outside its shard's best ``k`` cannot be in the
+  global best ``k`` — so with exact per-shard indexes the merged result
+  matches the unsharded exact path (the property tests pin this);
+* per-shard searches are pure reads over disjoint matrices, so threads
+  are the right pool: numpy's GEMM releases the GIL, the shards' mmap
+  pages stay shared, and nothing is pickled.
+
+:class:`ShardRouter` is the index-shaped object (``search``/
+``num_items``/``dim``) doing the fan-out; :class:`ShardedQueryEngine`
+wraps it in the standard :class:`~repro.serving.engine.QueryEngine`
+machinery, so batching, deduping, the per-``(node, k)`` LRU cache, and
+the scoring surface behave identically to the flat engine.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..parallel import available_cpus
+from .engine import QueryEngine
+from .index import _topk_rows, build_index
+from .sharding import ShardedMatrix, shard_boundaries
+
+__all__ = ["ShardRouter", "ShardedQueryEngine", "make_engine"]
+
+
+class ShardRouter:
+    """Fan a top-k search out to per-shard indexes and merge the heaps.
+
+    ``parts`` is one database block per shard (``None`` or a 0-row
+    block marks an empty shard); ``boundaries`` maps block rows back to
+    global node ids. ``kind`` plus ``index_options`` pick the per-shard
+    backend exactly as :func:`~repro.serving.index.build_index` does —
+    ``"exact"`` keeps global results exact, ``"ivf"`` trades recall per
+    shard. ``workers`` sizes the scatter thread pool (default: one per
+    non-empty shard, capped at the usable CPUs; 1 disables threading).
+    """
+
+    def __init__(self, parts, boundaries, *, kind: str = "exact",
+                 workers: int | None = None, **index_options) -> None:
+        self._bounds = np.asarray(boundaries, dtype=np.int64)
+        if len(parts) != len(self._bounds) - 1:
+            raise ParameterError(
+                f"got {len(parts)} shard blocks for "
+                f"{len(self._bounds) - 1} ranges")
+        self._indexes = []          # (global row offset, per-shard index)
+        for i, part in enumerate(parts):
+            if part is None or part.shape[0] == 0:
+                continue
+            if part.shape[0] != self._bounds[i + 1] - self._bounds[i]:
+                raise ParameterError(
+                    f"shard {i} block has {part.shape[0]} rows but owns "
+                    f"[{self._bounds[i]}, {self._bounds[i + 1]})")
+            self._indexes.append((int(self._bounds[i]),
+                                  build_index(part, kind, **index_options)))
+        if not self._indexes:
+            raise ParameterError("router needs at least one non-empty shard")
+        self._kind = kind
+        if workers is None:
+            workers = min(len(self._indexes), available_cpus())
+        if int(workers) != workers or workers < 1:
+            raise ParameterError(
+                f"workers must be a positive integer or None, "
+                f"got {workers!r}")
+        self.workers = min(int(workers), len(self._indexes))
+        self._pool = (ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="shard-router")
+            if self.workers > 1 else None)
+
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        return f"sharded-{self._kind}"
+
+    @property
+    def num_shards(self) -> int:
+        """Non-empty shards actually holding an index."""
+        return len(self._indexes)
+
+    @property
+    def num_items(self) -> int:
+        return int(self._bounds[-1])
+
+    @property
+    def dim(self) -> int:
+        return self._indexes[0][1].dim
+
+    # ------------------------------------------------------------------
+    def search(self, queries: np.ndarray, k: int,
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Global top-``k`` per query row; same contract as an index.
+
+        Scatters ``queries`` to every shard index, shifts shard-local
+        row ids by the shard offset, and merges the partial results to
+        the best ``min(k, num_items)`` per row, sorted by descending
+        score. Unfillable slots (IVF probes coming up short) keep the
+        ``-1`` / ``-inf`` convention.
+        """
+        queries = np.atleast_2d(np.asarray(queries))
+        if queries.shape[1] != self.dim:
+            raise ParameterError(
+                f"query dim {queries.shape[1]} != index dim {self.dim}")
+        if k < 1:
+            raise ParameterError("k must be >= 1")
+
+        def one(offset_index):
+            offset, index = offset_index
+            ids, scores = index.search(queries, k)
+            # shift shard-local ids to global ids; -1 sentinels stay -1
+            return np.where(ids >= 0, ids + offset, ids), scores
+
+        if self._pool is not None and len(queries):
+            partials = list(self._pool.map(one, self._indexes))
+        else:
+            partials = [one(pair) for pair in self._indexes]
+        all_ids = np.hstack([p[0] for p in partials])
+        all_scores = np.hstack([p[1] for p in partials])
+        pos, best_scores = _topk_rows(all_scores, min(k, self.num_items))
+        best_ids = np.take_along_axis(all_ids, pos, axis=1)
+        return best_ids, best_scores
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ShardRouter(shards={self.num_shards}, "
+                f"n={self.num_items}, kind={self._kind!r}, "
+                f"workers={self.workers})")
+
+
+class ShardedQueryEngine(QueryEngine):
+    """Drop-in :class:`QueryEngine` that scatter-gathers across shards.
+
+    Accepts either a :class:`~repro.serving.sharding.ShardedEmbeddingStore`
+    (shard layout comes from its shard map) or any flat source plus
+    ``shards=N`` (the fitted matrix is range-partitioned in memory, no
+    disk round-trip). Everything above retrieval — batched ``topk``,
+    request deduping, the per-``(node, k)`` LRU cache, ``score`` — is
+    inherited unchanged, so this is a behavioral drop-in for the flat
+    engine modulo the routing backend.
+    """
+
+    def __init__(self, source, *, shards: int | None = None,
+                 index: str = "exact", cache_size: int = 1024,
+                 workers: int | None = None, **index_options) -> None:
+        self._shards_requested = shards
+        self._workers_requested = workers
+        super().__init__(source, index=index, cache_size=cache_size,
+                         **index_options)
+
+    def _make_index(self, index, index_options: dict):
+        if isinstance(index, ShardRouter):
+            if index_options:
+                raise ParameterError(
+                    "index_options only apply when building by kind name")
+            if index.num_items != self._database.shape[0]:
+                raise ParameterError(
+                    f"prebuilt router holds {index.num_items} items but "
+                    f"the model has {self._database.shape[0]} nodes")
+            return index
+        if not isinstance(index, str):
+            raise ParameterError(
+                "sharded engine takes an index kind name or a prebuilt "
+                f"ShardRouter, got {type(index).__name__}")
+        database = self._database
+        if isinstance(database, ShardedMatrix):
+            if (self._shards_requested is not None
+                    and self._shards_requested != len(database.parts)):
+                raise ParameterError(
+                    f"source is already sharded into "
+                    f"{len(database.parts)} shards; shards="
+                    f"{self._shards_requested} cannot re-shard it")
+            parts, bounds = database.parts, database.boundaries
+        else:
+            if self._shards_requested is None:
+                raise ParameterError(
+                    "shards=N is required when the source is not a "
+                    "sharded store")
+            bounds = shard_boundaries(database.shape[0],
+                                      self._shards_requested)
+            parts = [database[bounds[i]:bounds[i + 1]]
+                     for i in range(len(bounds) - 1)]
+        return ShardRouter(parts, bounds, kind=index,
+                           workers=self._workers_requested, **index_options)
+
+    @property
+    def num_shards(self) -> int:
+        return self.index.num_shards
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ShardedQueryEngine(name={self.name!r}, "
+                f"n={self.num_nodes}, shards={self.num_shards}, "
+                f"index={self.index.kind!r})")
+
+
+def make_engine(source, *, engine: str = "auto", shards: int | None = None,
+                workers: int | None = None, index="exact",
+                cache_size: int = 1024, **index_options):
+    """Build the right engine flavor for ``source``.
+
+    ``engine`` is ``"flat"`` (plain :class:`QueryEngine`), ``"sharded"``
+    (:class:`ShardedQueryEngine`), or ``"auto"`` — sharded when the
+    source is a sharded store or ``shards`` is set, flat otherwise.
+    This is what :meth:`repro.embedder.ScoringMixin.to_serving` and the
+    serving registry call under the hood.
+    """
+    from .sharding import ShardedEmbeddingStore
+    source_sharded = isinstance(source, ShardedEmbeddingStore)
+    if engine == "auto":
+        engine = "sharded" if source_sharded or shards is not None else "flat"
+    if engine == "flat":
+        if source_sharded:
+            raise ParameterError(
+                "a sharded store needs engine='sharded' (or 'auto')")
+        if shards is not None:
+            raise ParameterError("shards= only applies to engine='sharded'")
+        if workers is not None:
+            raise ParameterError("workers= only applies to engine='sharded'")
+        return QueryEngine(source, index=index, cache_size=cache_size,
+                           **index_options)
+    if engine == "sharded":
+        return ShardedQueryEngine(source, shards=shards, index=index,
+                                  cache_size=cache_size, workers=workers,
+                                  **index_options)
+    raise ParameterError(
+        f"unknown engine kind {engine!r}; known: 'auto', 'flat', 'sharded'")

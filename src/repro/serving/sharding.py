@@ -1,0 +1,453 @@
+"""Node-range sharding of embedding stores.
+
+A single :class:`~repro.serving.store.EmbeddingStore` ties the whole
+matrix to one file and one machine's page cache — exactly the ceiling
+the paper's "massive graphs" pitch is about. A *sharded* store splits
+the node-id space ``[0, n)`` into ``num_shards`` contiguous ranges and
+writes each range as an ordinary flat store under one root::
+
+    root/
+      shards.json         <- shard map (written last: the commit point)
+      shard-00000/        <- rows [b0, b1): a standard EmbeddingStore
+      shard-00001/        <- rows [b1, b2)
+      ...
+
+Contiguous ranges keep the global-id <-> (shard, local-id) mapping a
+single ``searchsorted`` against the boundary array — no per-node lookup
+table to store, ship, or keep consistent. Each shard directory is a
+bit-for-bit ordinary store, so every existing tool (``repro-serve
+info``, :func:`~repro.io.load_store`, the fault-checked open path)
+works on a shard unchanged, and shards can live on different disks or
+be served by different processes.
+
+The shard map is validated on open: boundaries must tile ``[0, n)``
+exactly, every non-empty range must have its directory, and each
+shard's own manifest must agree with the range the map assigns it —
+disagreements raise :class:`~repro.errors.ShardLayoutError` rather than
+surfacing later as off-by-offset neighbor ids. Shards narrower than the
+node count allow *empty* shards (``num_shards > n``); those are map
+entries without a directory.
+
+:class:`ShardedMatrix` is the read side's trick: a virtual ``(n, d)``
+matrix over per-shard row blocks that supports exactly the operations
+serving needs (row gather and right-matmul), so the scoring/engine code
+paths run unchanged over a sharded store. Query fan-out lives in
+:mod:`repro.serving.router`.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from ..embedder import ScoringMixin, has_custom_scoring
+from ..errors import (ParameterError, ShardLayoutError, StoreCorruptError,
+                      StoreError)
+from ..io import validate_embedding_matrices
+from .store import SHARDS_NAME, EmbeddingStore, export_store
+
+__all__ = ["ShardedEmbeddingStore", "ShardedMatrix", "shard_store",
+           "shard_boundaries"]
+
+_SHARD_FORMAT_VERSION = 1
+_SHARD_DIR_PREFIX = "shard-"
+_SHARD_DIR_DIGITS = 5
+
+
+def shard_boundaries(num_nodes: int, num_shards: int) -> np.ndarray:
+    """Balanced contiguous split of ``[0, num_nodes)`` into ranges.
+
+    Returns ``num_shards + 1`` offsets; shard ``i`` owns rows
+    ``[b[i], b[i+1])``. Sizes differ by at most one; with more shards
+    than nodes the trailing shards are empty (``b[i] == b[i+1]``).
+    """
+    if int(num_shards) != num_shards or num_shards < 1:
+        raise ParameterError(
+            f"num_shards must be a positive integer, got {num_shards!r}")
+    if num_nodes < 0:
+        raise ParameterError(f"num_nodes must be >= 0, got {num_nodes}")
+    base, extra = divmod(int(num_nodes), int(num_shards))
+    sizes = np.full(int(num_shards), base, dtype=np.int64)
+    sizes[:extra] += 1
+    return np.concatenate([[0], np.cumsum(sizes)])
+
+
+def _shard_dir_name(index: int) -> str:
+    return f"{_SHARD_DIR_PREFIX}{index:0{_SHARD_DIR_DIGITS}d}"
+
+
+def _json_safe(value) -> bool:
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+class _RowSlice:
+    """A row-range view of a fitted source, shaped like an embedder.
+
+    What :func:`~repro.serving.store.export_store` needs from a source —
+    ``name``, ``directional``, the fitted matrices, scoring markers —
+    restricted to rows ``[start, stop)``. Slicing an mmap'd matrix here
+    is a view, so sharding a store never materializes the full matrix.
+    """
+
+    def __init__(self, source, start: int, stop: int) -> None:
+        self.name = getattr(source, "name", type(source).__name__)
+        self.directional = bool(getattr(source, "directional", False))
+        self.lp_scoring = getattr(source, "lp_scoring", "inner")
+        self.custom_scoring = has_custom_scoring(source)
+        self.metadata: dict = {}
+        for key in ("embedding", "forward", "backward"):
+            matrix = getattr(source, f"{key}_", None)
+            setattr(self, f"{key}_", None if matrix is None
+                    else matrix[start:stop])
+        meta = dict(getattr(source, "metadata", None) or {})
+        for extra in ("w_fwd", "w_bwd"):
+            value = meta.get(extra)
+            if value is None:
+                value = getattr(source, f"{extra}_", None)
+            if value is not None:
+                self.metadata[extra] = np.asarray(value)[start:stop]
+
+
+def shard_store(source, root: str | Path, *, num_shards: int,
+                metadata: dict | None = None,
+                version: int | None = None) -> "ShardedEmbeddingStore":
+    """Write ``source`` as a sharded store of ``num_shards`` node ranges.
+
+    ``source`` is anything :func:`~repro.serving.store.export_store`
+    accepts (fitted embedder, bundle, flat store — or another sharded
+    store, which reshards). Shard directories are written first and the
+    shard map last, so a reader never resolves a map that names an
+    unwritten shard. Returns the freshly opened
+    :class:`ShardedEmbeddingStore`.
+    """
+    root = Path(root)
+    if version is not None and (int(version) != version or version < 1):
+        raise ParameterError(
+            f"version must be a positive integer or None, got {version!r}")
+    directional = bool(getattr(source, "directional", False))
+    name = getattr(source, "name", type(source).__name__)
+    keys = ("forward", "backward") if directional else ("embedding",)
+    matrices = {key: getattr(source, f"{key}_", None) for key in keys}
+    validate_embedding_matrices(name, directional=directional, **{
+        "forward": matrices.get("forward"),
+        "backward": matrices.get("backward"),
+        "embedding": matrices.get("embedding")})
+    first = next(iter(matrices.values()))
+    num_nodes = int(first.shape[0])
+    bounds = shard_boundaries(num_nodes, num_shards)
+
+    root.mkdir(parents=True, exist_ok=True)
+    entries = []
+    for i in range(int(num_shards)):
+        start, stop = int(bounds[i]), int(bounds[i + 1])
+        if start == stop:
+            entries.append({"dir": None, "start": start, "stop": stop})
+            continue
+        piece = _RowSlice(source, start, stop)
+        export_store(piece, root / _shard_dir_name(i))
+        entries.append({"dir": _shard_dir_name(i),
+                        "start": start, "stop": stop})
+    # Re-sharding onto a root that previously held more shards must not
+    # leave the extra directories behind: open() validates the map
+    # against the directories on disk, so stale shards would make the
+    # freshly committed root unreadable.
+    named = {e["dir"] for e in entries if e["dir"] is not None}
+    for child in root.iterdir():
+        if (child.is_dir() and child.name.startswith(_SHARD_DIR_PREFIX)
+                and child.name not in named):
+            shutil.rmtree(child, ignore_errors=True)
+
+    meta = dict(getattr(source, "metadata", None) or {})
+    meta.update(metadata or {})
+    # per-node extras were sliced into the shards; the global copies
+    # would only duplicate them (and ndarray metadata is not JSON).
+    # Everything else JSON-serializable (lists, dicts, ...) is kept,
+    # matching what the flat export path preserves.
+    for extra in ("w_fwd", "w_bwd"):
+        meta.pop(extra, None)
+    meta = {k: v for k, v in meta.items() if _json_safe(v)}
+    manifest = {
+        "format": _SHARD_FORMAT_VERSION,
+        "name": name,
+        "directional": directional,
+        "version": int(version) if version is not None else None,
+        "lp_scoring": getattr(source, "lp_scoring", "inner"),
+        "custom_scoring": has_custom_scoring(source),
+        "num_nodes": num_nodes,
+        "dim": int(sum(m.shape[1] for m in matrices.values())),
+        "dtype": str(first.dtype),
+        "num_shards": int(num_shards),
+        "shards": entries,
+        "metadata": meta,
+    }
+    tmp = root / (SHARDS_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+    tmp.replace(root / SHARDS_NAME)
+    return ShardedEmbeddingStore.open(root)
+
+
+class ShardedMatrix:
+    """A virtual ``(n, d)`` matrix over per-shard row blocks.
+
+    Supports the serving access patterns — scalar/array/slice row
+    gather and right-matmul — by dispatching to the owning blocks via
+    ``searchsorted`` on the shard boundaries. Gathers return ordinary
+    in-heap arrays; the blocks themselves stay mmap'd.
+    """
+
+    ndim = 2
+
+    def __init__(self, parts: list[np.ndarray | None],
+                 boundaries: np.ndarray) -> None:
+        self._parts = parts
+        self._bounds = np.asarray(boundaries, dtype=np.int64)
+        present = [p for p in parts if p is not None]
+        if not present:
+            raise ParameterError("ShardedMatrix needs at least one "
+                                 "non-empty shard")
+        self._dim = int(present[0].shape[1])
+        self._dtype = present[0].dtype
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return int(self._bounds[-1]), self._dim
+
+    @property
+    def dtype(self):
+        return self._dtype
+
+    @property
+    def parts(self) -> list[np.ndarray | None]:
+        """Per-shard row blocks (``None`` for empty shards)."""
+        return self._parts
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        return self._bounds
+
+    def __len__(self) -> int:
+        return int(self._bounds[-1])
+
+    def __getitem__(self, rows) -> np.ndarray:
+        if isinstance(rows, slice):
+            rows = np.arange(*rows.indices(len(self)))
+        idx = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        scalar = np.isscalar(rows) or getattr(rows, "ndim", 1) == 0
+        if idx.ndim != 1:
+            raise ParameterError("row selection must be scalar or 1-D")
+        if idx.size and (idx.min() < 0 or idx.max() >= len(self)):
+            raise ParameterError(
+                f"row index out of range [0, {len(self)})")
+        # side="right" lands duplicates (empty shards) on the one
+        # non-empty shard that actually owns the row
+        owner = np.searchsorted(self._bounds, idx, side="right") - 1
+        out = np.empty((len(idx), self._dim), dtype=self._dtype)
+        for s in np.unique(owner):
+            mask = owner == s
+            part = self._parts[s]
+            out[mask] = part[idx[mask] - self._bounds[s]]
+        return out[0] if scalar else out
+
+    def __matmul__(self, other) -> np.ndarray:
+        blocks = [p @ other for p in self._parts if p is not None]
+        return np.concatenate(blocks, axis=0)
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        full = np.concatenate([p for p in self._parts if p is not None],
+                              axis=0)
+        return full.astype(dtype) if dtype is not None else full
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ShardedMatrix(shape={self.shape}, "
+                f"shards={len(self._parts)})")
+
+
+class ShardedEmbeddingStore(ScoringMixin):
+    """A read-only embedding store partitioned into node-range shards.
+
+    Each shard is an ordinary :class:`EmbeddingStore`; this object
+    stitches them back into one logical matrix set. Scoring
+    (:meth:`score_pairs`, :meth:`score_all_from`) comes from
+    :class:`~repro.embedder.ScoringMixin` running over virtual
+    :class:`ShardedMatrix` views; :meth:`to_serving` builds the
+    scatter-gather :class:`~repro.serving.router.ShardedQueryEngine`.
+    """
+
+    def __init__(self, root: Path, manifest: dict,
+                 shards: list[EmbeddingStore | None],
+                 boundaries: np.ndarray) -> None:
+        self.root = Path(root)
+        self.name: str = manifest["name"]
+        self.directional: bool = manifest["directional"]
+        self.lp_scoring: str = manifest.get("lp_scoring", "inner")
+        self.custom_scoring: bool = bool(manifest.get("custom_scoring",
+                                                      False))
+        self.metadata: dict = dict(manifest.get("metadata", {}))
+        self._manifest = manifest
+        self.shards = shards
+        self.boundaries = boundaries
+
+    def _virtual(self, key: str) -> ShardedMatrix | None:
+        parts = [None if s is None else getattr(s, f"{key}_")
+                 for s in self.shards]
+        if all(p is None for p in parts):
+            return None
+        return ShardedMatrix(parts, self.boundaries)
+
+    @property
+    def embedding_(self) -> ShardedMatrix | None:
+        return self._virtual("embedding")
+
+    @property
+    def forward_(self) -> ShardedMatrix | None:
+        return self._virtual("forward")
+
+    @property
+    def backward_(self) -> ShardedMatrix | None:
+        return self._virtual("backward")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, root: str | Path, *,
+             mmap: bool = True) -> "ShardedEmbeddingStore":
+        """Open and validate a sharded store root.
+
+        Raises :class:`~repro.errors.ShardLayoutError` when the shard
+        map and the directories on disk disagree (missing or extra
+        shards, broken range tiling, per-shard manifest mismatch), and
+        propagates each shard's own typed open errors (e.g.
+        :class:`~repro.errors.StoreCorruptError` for a truncated shard
+        matrix).
+        """
+        root = Path(root)
+        map_path = root / SHARDS_NAME
+        if not map_path.is_file():
+            raise StoreError(f"not a sharded embedding store: {root} "
+                             f"(missing {SHARDS_NAME})")
+        try:
+            with open(map_path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreCorruptError(
+                f"corrupt shard map {map_path}: {exc}; the export was "
+                f"likely interrupted - re-shard the store") from exc
+        if manifest.get("format") != _SHARD_FORMAT_VERSION:
+            raise StoreError(f"unsupported shard map format "
+                             f"{manifest.get('format')!r} in {map_path}")
+
+        entries = manifest.get("shards", [])
+        num_shards = manifest.get("num_shards")
+        if not entries or num_shards != len(entries):
+            raise ShardLayoutError(
+                f"sharded store {root}: map says num_shards={num_shards} "
+                f"but lists {len(entries)} shard entries - re-shard the "
+                f"store")
+        on_disk = sorted(p.name for p in root.iterdir()
+                         if p.is_dir() and p.name.startswith(
+                             _SHARD_DIR_PREFIX))
+        named = sorted(e["dir"] for e in entries if e["dir"] is not None)
+        if on_disk != named:
+            raise ShardLayoutError(
+                f"sharded store {root}: shard map names {len(named)} shard "
+                f"directories but {len(on_disk)} exist on disk "
+                f"(map: {named}, disk: {on_disk}) - a shard was added or "
+                f"removed without rewriting {SHARDS_NAME}; re-shard the "
+                f"store")
+
+        bounds = [e["start"] for e in entries] + [entries[-1]["stop"]]
+        boundaries = np.asarray(bounds, dtype=np.int64)
+        stops = np.asarray([e["stop"] for e in entries], dtype=np.int64)
+        if (boundaries[0] != 0
+                or np.any(boundaries[1:] != stops)
+                or np.any(np.diff(boundaries) < 0)
+                or boundaries[-1] != manifest["num_nodes"]):
+            raise ShardLayoutError(
+                f"sharded store {root}: shard ranges do not tile "
+                f"[0, {manifest['num_nodes']}): {bounds} - re-shard the "
+                f"store")
+
+        shards: list[EmbeddingStore | None] = []
+        for i, entry in enumerate(entries):
+            start, stop = int(entry["start"]), int(entry["stop"])
+            if entry["dir"] is None:
+                if start != stop:
+                    raise ShardLayoutError(
+                        f"sharded store {root}: shard {i} owns rows "
+                        f"[{start}, {stop}) but has no directory - "
+                        f"re-shard the store")
+                shards.append(None)
+                continue
+            shard = EmbeddingStore.open(root / entry["dir"], mmap=mmap)
+            if shard.num_nodes != stop - start:
+                raise ShardLayoutError(
+                    f"sharded store {root}: shard {i} should own "
+                    f"{stop - start} rows [{start}, {stop}) but "
+                    f"{entry['dir']} holds {shard.num_nodes} - the shard "
+                    f"map is stale; re-shard the store")
+            if (shard.dim != manifest["dim"]
+                    or shard.directional != manifest["directional"]):
+                raise ShardLayoutError(
+                    f"sharded store {root}: shard {i} ({entry['dir']}) is "
+                    f"{shard.dim}-dim directional={shard.directional}, map "
+                    f"expects {manifest['dim']}-dim "
+                    f"directional={manifest['directional']} - mixed "
+                    f"exports under one root; re-shard the store")
+            shards.append(shard)
+        if all(s is None for s in shards):
+            raise ShardLayoutError(
+                f"sharded store {root}: every shard is empty")
+        store = cls(root, manifest, shards, boundaries)
+        # Per-node extras (w_fwd / w_bwd) were sliced into the shards at
+        # write time; stitch them back so the sharded store carries the
+        # same metadata surface as a flat one (and so re-sharding or
+        # un-sharding this store does not silently drop them).
+        present = [s for s in shards if s is not None]
+        for extra in ("w_fwd", "w_bwd"):
+            if all(extra in s.metadata for s in present):
+                store.metadata[extra] = np.concatenate(
+                    [np.asarray(s.metadata[extra]) for s in present])
+        return store
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return int(self._manifest["num_nodes"])
+
+    @property
+    def dim(self) -> int:
+        return int(self._manifest["dim"])
+
+    @property
+    def num_shards(self) -> int:
+        return int(self._manifest["num_shards"])
+
+    @property
+    def version(self) -> int | None:
+        """Export version stamped by ``publish_version`` (else None)."""
+        value = self._manifest.get("version")
+        return int(value) if value is not None else None
+
+    @property
+    def mmapped(self) -> bool:
+        """Whether every present shard is memory-mapped."""
+        return all(s is None or s.mmapped for s in self.shards)
+
+    def shard_of(self, node: int) -> int:
+        """Index of the shard owning global ``node``."""
+        if node < 0 or node >= self.num_nodes:
+            raise ParameterError(
+                f"node {node} out of range [0, {self.num_nodes})")
+        return int(np.searchsorted(self.boundaries, node, side="right") - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ShardedEmbeddingStore(name={self.name!r}, "
+                f"n={self.num_nodes}, dim={self.dim}, "
+                f"shards={self.num_shards})")

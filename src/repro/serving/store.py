@@ -30,20 +30,27 @@ from __future__ import annotations
 
 import json
 import shutil
+import threading
 from pathlib import Path
 
 import numpy as np
 
 from ..embedder import ScoringMixin, has_custom_scoring
-from ..errors import ParameterError, ReproError
+from ..errors import (ParameterError, ReproError, StalePointerError,
+                      StoreCorruptError, StoreError)
 from ..io import validate_embedding_matrices
 
 __all__ = ["EmbeddingStore", "export_store", "MANIFEST_NAME",
-           "CURRENT_NAME", "publish_version", "open_current",
-           "list_versions"]
+           "SHARDS_NAME", "CURRENT_NAME", "publish_version",
+           "open_current", "open_store", "list_versions"]
 
 #: File name of the JSON manifest inside a store directory.
 MANIFEST_NAME = "store.json"
+
+#: File name of the shard map inside a sharded store root (see
+#: :mod:`repro.serving.sharding`; named here so the versioned-root
+#: machinery can recognize sharded versions without importing it).
+SHARDS_NAME = "shards.json"
 
 #: Pointer file naming the live version inside a versioned root.
 CURRENT_NAME = "CURRENT"
@@ -52,6 +59,13 @@ _FORMAT_VERSION = 1
 
 _VERSION_PREFIX = "v"
 _VERSION_DIGITS = 6
+
+# numpy parses .npy headers with ast.literal_eval, and CPython 3.11's
+# AST constructor is not thread-safe (SystemError: "AST constructor
+# recursion depth mismatch" under concurrent parses; fixed in 3.12).
+# Store opens happen from many serving threads at once, so the header
+# parse is serialized; the mmap'd data path is untouched.
+_NPY_LOAD_LOCK = threading.Lock()
 
 
 def _matrix_files(directional: bool) -> tuple[str, ...]:
@@ -142,7 +156,11 @@ def _version_dir_name(version: int) -> str:
 
 
 def list_versions(root: str | Path) -> list[int]:
-    """Version numbers present in a versioned root, ascending."""
+    """Version numbers present in a versioned root, ascending.
+
+    A version directory may hold either a flat store (``store.json``)
+    or a sharded store root (``shards.json``).
+    """
     root = Path(root)
     if not root.is_dir():
         return []
@@ -151,14 +169,30 @@ def list_versions(root: str | Path) -> list[int]:
         name = child.name
         if (child.is_dir() and name.startswith(_VERSION_PREFIX)
                 and name[len(_VERSION_PREFIX):].isdigit()
-                and (child / MANIFEST_NAME).is_file()):
+                and ((child / MANIFEST_NAME).is_file()
+                     or (child / SHARDS_NAME).is_file())):
             versions.append(int(name[len(_VERSION_PREFIX):]))
     return sorted(versions)
 
 
+def open_store(path: str | Path, *, mmap: bool = True):
+    """Open a store directory, flat or sharded, by sniffing its manifest.
+
+    A directory holding ``shards.json`` opens as a
+    :class:`~repro.serving.sharding.ShardedEmbeddingStore`; one holding
+    ``store.json`` opens as a flat :class:`EmbeddingStore`.
+    """
+    path = Path(path)
+    if (path / SHARDS_NAME).is_file():
+        from .sharding import ShardedEmbeddingStore   # lazy: no cycle
+        return ShardedEmbeddingStore.open(path, mmap=mmap)
+    return EmbeddingStore.open(path, mmap=mmap)
+
+
 def publish_version(root: str | Path, source, *,
                     metadata: dict | None = None,
-                    keep: int | None = None) -> "EmbeddingStore":
+                    keep: int | None = None,
+                    shards: int | None = None):
     """Export ``source`` as the next version of a versioned store root.
 
     Writes a complete store into ``root/v000N/`` (N = one past the
@@ -167,7 +201,11 @@ def publish_version(root: str | Path, source, *,
     either the old complete version or the new complete version, never
     a torn directory. ``keep`` prunes all but the newest ``keep``
     versions afterwards (the freshly published one is never pruned).
-    Returns the store opened at its versioned path.
+    ``shards`` publishes the version as a sharded store root of that
+    many node-range shards instead of one flat store; flat and sharded
+    versions may coexist under one root, and a hot-swapping reader
+    follows whichever layout ``CURRENT`` lands on. Returns the store
+    opened at its versioned path.
     """
     root = Path(root)
     if keep is not None and (int(keep) != keep or keep < 1):
@@ -176,44 +214,78 @@ def publish_version(root: str | Path, source, *,
     root.mkdir(parents=True, exist_ok=True)
     existing = list_versions(root)
     version = (existing[-1] + 1) if existing else 1
-    store = export_store(source, root / _version_dir_name(version),
-                         metadata=metadata, version=version)
+    if shards is not None:
+        # shards=1 still publishes a (one-shard) sharded root, matching
+        # shard_store / `repro-serve export --shards 1`; shard_store
+        # validates the count, so shards=0 raises instead of silently
+        # degrading to a flat store.
+        from .sharding import shard_store   # lazy: no cycle
+        store = shard_store(source, root / _version_dir_name(version),
+                            num_shards=shards, metadata=metadata,
+                            version=version)
+    else:
+        store = export_store(source, root / _version_dir_name(version),
+                             metadata=metadata, version=version)
     tmp = root / (CURRENT_NAME + ".tmp")
     tmp.write_text(_version_dir_name(version) + "\n", encoding="utf-8")
     tmp.replace(root / CURRENT_NAME)
     if keep is not None:
         for old in existing[:-(keep - 1)] if keep > 1 else existing:
-            shutil.rmtree(root / _version_dir_name(old), ignore_errors=True)
+            vdir = root / _version_dir_name(old)
+            # Drop the commit-point manifest first: a reader racing the
+            # prune then sees the version as *absent* (and retries via
+            # open_current) instead of tripping over a half-deleted
+            # directory that still looks committed.
+            for commit_file in (MANIFEST_NAME, SHARDS_NAME):
+                try:
+                    (vdir / commit_file).unlink()
+                except OSError:
+                    pass
+            shutil.rmtree(vdir, ignore_errors=True)
     return store
 
 
-def open_current(root: str | Path, *, mmap: bool = True) -> "EmbeddingStore":
+def open_current(root: str | Path, *, mmap: bool = True):
     """Open the version the ``CURRENT`` pointer of ``root`` names.
 
     Between reading the pointer and opening the store, a concurrent
     :func:`publish_version` with an aggressive ``keep`` may prune the
     named version; the open is retried against the re-read pointer so a
     reader racing the publisher lands on the fresh version instead of
-    crashing on the vanished one.
+    crashing on the vanished one. A pointer that *stays* aimed at a
+    version which does not exist is not churn but damage, and raises
+    :class:`~repro.errors.StalePointerError` immediately. Sharded
+    versions open as sharded stores (see :func:`open_store`).
     """
     root = Path(root)
     last_exc: Exception | None = None
+    last_target: str | None = None
     for _ in range(3):
         pointer = root / CURRENT_NAME
         if not pointer.is_file():
-            raise ReproError(f"not a versioned store root: {root} "
+            raise StoreError(f"not a versioned store root: {root} "
                              f"(missing {CURRENT_NAME}; use publish_version)")
         target = pointer.read_text(encoding="utf-8").strip()
         if not target or "/" in target or "\\" in target or ".." in target:
-            raise ReproError(f"corrupt {CURRENT_NAME} pointer in {root}: "
-                             f"{target!r}")
+            raise StoreCorruptError(
+                f"corrupt {CURRENT_NAME} pointer in {root}: {target!r}")
+        if not (root / target).is_dir() and target == last_target:
+            # Re-read the same pointer and the version still is not
+            # there: nobody is publishing, the pointer itself is stale.
+            raise StalePointerError(
+                f"{CURRENT_NAME} in {root} names version {target!r}, which "
+                f"does not exist (have {list_versions(root)}); republish or "
+                f"point {CURRENT_NAME} at a surviving version"
+                ) from last_exc
         try:
-            return EmbeddingStore.open(root / target, mmap=mmap)
+            return open_store(root / target, mmap=mmap)
         except (ReproError, OSError) as exc:
-            if (root / target / MANIFEST_NAME).is_file():
+            if ((root / target / MANIFEST_NAME).is_file()
+                    or (root / target / SHARDS_NAME).is_file()):
                 raise        # version is there; the failure is real
             last_exc = exc   # pruned under us: re-resolve the pointer
-    raise ReproError(
+            last_target = target
+    raise StalePointerError(
         f"version named by {CURRENT_NAME} in {root} kept vanishing; "
         f"is the publisher pruning with keep=1 under heavy churn?"
         ) from last_exc
@@ -249,24 +321,37 @@ class EmbeddingStore(ScoringMixin):
         root = Path(root)
         manifest_path = root / MANIFEST_NAME
         if not manifest_path.is_file():
-            raise ReproError(f"not an embedding store: {root} "
+            raise StoreError(f"not an embedding store: {root} "
                              f"(missing {MANIFEST_NAME})")
         try:
             with open(manifest_path, encoding="utf-8") as fh:
                 manifest = json.load(fh)
         except (OSError, json.JSONDecodeError) as exc:
-            raise ReproError(f"corrupt store manifest {manifest_path}: {exc}"
-                             ) from exc
+            raise StoreCorruptError(
+                f"corrupt store manifest {manifest_path}: {exc}; "
+                f"the export was likely interrupted - re-export the store"
+                ) from exc
         if manifest.get("format") != _FORMAT_VERSION:
-            raise ReproError(f"unsupported store format "
+            raise StoreError(f"unsupported store format "
                              f"{manifest.get('format')!r} in {manifest_path}")
         mode = "r" if mmap else None
         arrays: dict[str, np.ndarray] = {}
         for key in list(manifest["matrices"]) + list(manifest.get("extras", ())):
             path = root / f"{key}.npy"
             if not path.is_file():
-                raise ReproError(f"store {root} is missing {key}.npy")
-            arrays[key] = np.load(path, mmap_mode=mode)
+                raise StoreCorruptError(
+                    f"store {root} is missing {key}.npy; the export was "
+                    f"likely interrupted - re-export the store")
+            try:
+                with _NPY_LOAD_LOCK:
+                    arrays[key] = np.load(path, mmap_mode=mode)
+            except (ValueError, OSError) as exc:
+                # e.g. a truncated file whose npy header promises more
+                # bytes than the file holds - np.load/mmap refuses it
+                raise StoreCorruptError(
+                    f"store {root}: {key}.npy is truncated or not a valid "
+                    f".npy file ({exc}); restore it from a backup or "
+                    f"re-export the store") from exc
         validate_embedding_matrices(
             manifest["name"], directional=manifest["directional"],
             embedding=arrays.get("embedding"),
@@ -275,7 +360,7 @@ class EmbeddingStore(ScoringMixin):
         if (any(m.shape[0] != manifest["num_nodes"] for m in mats)
                 or sum(m.shape[1] for m in mats) != manifest["dim"]
                 or str(mats[0].dtype) != manifest["dtype"]):
-            raise ReproError(
+            raise StoreCorruptError(
                 f"store {root} manifest disagrees with its matrices: "
                 f"manifest says {manifest['num_nodes']} nodes x "
                 f"{manifest['dim']} dims ({manifest['dtype']}), files hold "
@@ -303,6 +388,20 @@ class EmbeddingStore(ScoringMixin):
         """Whether the matrices are memory-mapped (vs. heap copies)."""
         first = self.forward_ if self.directional else self.embedding_
         return isinstance(first, np.memmap)
+
+    def shard(self, root: str | Path, num_shards: int, *,
+              metadata: dict | None = None):
+        """Re-export this store as ``num_shards`` node-range shards.
+
+        The single-file -> sharded migration path: writes a
+        :class:`~repro.serving.sharding.ShardedEmbeddingStore` under
+        ``root`` and returns it opened. Because the matrices here are
+        mmap'd, each shard is written from a row-slice view without
+        materializing the full matrix.
+        """
+        from .sharding import shard_store   # lazy: no cycle
+        return shard_store(self, root, num_shards=num_shards,
+                           metadata=metadata)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"EmbeddingStore(name={self.name!r}, n={self.num_nodes}, "

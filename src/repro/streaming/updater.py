@@ -191,12 +191,15 @@ class StreamingUpdater:
 
     # ------------------------------------------------------------------
     def publish(self, root, *, metadata: dict | None = None,
-                keep: int | None = None):
+                keep: int | None = None, shards: int | None = None):
         """Export the current model as the next version of ``root``.
 
         Thin wrapper over :func:`repro.serving.publish_version` that
         stamps streaming provenance (batch count, escalations, graph
-        size) into the manifest metadata.
+        size) into the manifest metadata. ``shards`` publishes the
+        version as a sharded store root (see
+        :mod:`repro.serving.sharding`), so hot-swapping readers flip to
+        a scatter-gather layout with the same atomic ``CURRENT`` rename.
         """
         from ..serving.store import publish_version   # lazy: no cycle
         meta = {"stream_batches": self.num_batches,
@@ -204,7 +207,8 @@ class StreamingUpdater:
                 "num_nodes": self.graph.num_nodes,
                 "num_edges": self.graph.num_edges}
         meta.update(metadata or {})
-        return publish_version(root, self.model, metadata=meta, keep=keep)
+        return publish_version(root, self.model, metadata=meta, keep=keep,
+                               shards=shards)
 
     def swap_into(self, registry, name: str, **engine_options):
         """Hot-swap ``registry[name]`` onto the current model's state.

@@ -2,11 +2,21 @@
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.graph import (erdos_renyi, figure1_graph, from_edges,
                          powerlaw_community)
+
+# The stress harness (tests/stress/harness.py) is shared by test files
+# in other directories and by benchmarks/; pytest only puts each test
+# file's own directory on sys.path, so add the harness dir here.
+_STRESS_DIR = str(Path(__file__).parent / "stress")
+if _STRESS_DIR not in sys.path:
+    sys.path.insert(0, _STRESS_DIR)
 
 
 @pytest.fixture(scope="session")

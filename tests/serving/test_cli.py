@@ -43,6 +43,49 @@ def test_export_info_query_round_trip(bundle_path, tmp_path, capsys):
         assert len(row["scores"]) == 5
 
 
+def test_sharded_export_shard_info_query(bundle_path, tmp_path, capsys):
+    path, model = bundle_path
+    n = model.forward_.shape[0]
+
+    assert main(["export", str(path), str(tmp_path / "sh"),
+                 "--shards", "3"]) == 0
+    assert "3 shards" in capsys.readouterr().out
+
+    assert main(["info", str(tmp_path / "sh")]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["num_shards"] == 3
+    assert info["shard_ranges"][0][0] == 0
+    assert info["shard_ranges"][-1][1] == n
+
+    # sharded query bit-matches the flat CLI ranking
+    assert main(["query", str(tmp_path / "sh"), "--nodes", "0,7",
+                 "-k", "5", "--workers", "2"]) == 0
+    for line, node in zip(capsys.readouterr().out.strip().splitlines(),
+                          (0, 7)):
+        row = json.loads(line)
+        ref = np.argsort(-model.score_all_from(node), kind="stable")[:5]
+        assert row["neighbors"] == [int(v) for v in ref]
+
+    # re-shard an existing store with the shard subcommand
+    assert main(["export", str(path), str(tmp_path / "flat")]) == 0
+    capsys.readouterr()
+    assert main(["shard", str(tmp_path / "flat"), str(tmp_path / "re"),
+                 "--shards", "5"]) == 0
+    assert "5 shards" in capsys.readouterr().out
+    assert main(["info", str(tmp_path / "re")]) == 0
+    assert json.loads(capsys.readouterr().out)["num_shards"] == 5
+
+
+def test_workers_flag_requires_sharded_store(bundle_path, tmp_path,
+                                             capsys):
+    path, _ = bundle_path
+    assert main(["export", str(path), str(tmp_path / "flat")]) == 0
+    capsys.readouterr()
+    assert main(["query", str(tmp_path / "flat"), "--nodes", "0",
+                 "--workers", "2"]) == 2
+    assert "--workers" in capsys.readouterr().err
+
+
 def test_query_ivf_backend(bundle_path, tmp_path, capsys):
     path, _ = bundle_path
     store_dir = tmp_path / "store"

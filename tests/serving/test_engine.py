@@ -130,6 +130,35 @@ def test_cache_hits_and_eviction(nrp_model):
     assert engine.cache_stats().size == 0
 
 
+@pytest.mark.parametrize("shards", [None, 3], ids=["flat", "sharded"])
+def test_cache_key_includes_k(nrp_model, shards):
+    """Regression: a cached k=10 answer must never serve a k=50 query.
+
+    The LRU key is ``(node, k)``; if ``k`` ever fell out of the key, a
+    hot node primed at a small ``k`` would truncate every later larger-
+    ``k`` query for it. Checked against the exact ranking in both
+    directions (grow k, then shrink it) and for both engine flavors.
+    """
+    engine = nrp_model.to_serving(cache_size=16, shards=shards)
+    ref = full_ranking(nrp_model, 3)
+    ids10, scores10 = engine.topk(3, k=10)         # primes the cache
+    assert len(ids10) == 10
+    ids50, scores50 = engine.topk(3, k=50)         # same node, larger k
+    assert len(ids50) == 50, "cached k=10 entry served for k=50"
+    np.testing.assert_array_equal(ids50, ref[:50])
+    ids5, _ = engine.topk(3, k=5)                  # same node, smaller k
+    assert len(ids5) == 5
+    np.testing.assert_array_equal(ids5, ref[:5])
+    # the k=10 entry is still present and still correct
+    again10, again_scores10 = engine.topk(3, k=10)
+    np.testing.assert_array_equal(again10, ids10)
+    np.testing.assert_array_equal(again_scores10, scores10)
+    # and the batched path keys by k too
+    batch_ids, _ = engine.topk([3, 3, 7], k=25)
+    assert batch_ids.shape == (3, 25)
+    np.testing.assert_array_equal(batch_ids[0], ref[:25])
+
+
 def test_duplicate_nodes_searched_once_per_batch(nrp_model):
     engine = nrp_model.to_serving()
     seen_rows = []

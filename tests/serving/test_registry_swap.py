@@ -6,16 +6,25 @@ is internally consistent with exactly one registered model generation.
 Generations are made distinguishable by construction: generation ``g``
 embeds node ``v`` as a one-hot-ish vector scaled by ``g + 1``, so any
 mixing of generations inside one answer is detectable from the scores.
+
+The ``test_scheduled_*`` cases below use the stress harness's
+:class:`BarrierSchedule` to make the races *deterministic*: readers and
+the writer rendezvous around every swap / publish, so each flip is
+guaranteed to land between two specific queries instead of wherever the
+scheduler happens to put it. The free-running soak versions live in
+``tests/stress/test_stress_serving.py`` (slow job).
 """
 
 import threading
 
 import numpy as np
 import pytest
+from harness import BarrierSchedule, generation_embedding, run_storm
 
 from repro.errors import ReproError
 from repro.io import EmbeddingBundle
-from repro.serving import QueryEngine, ServingRegistry
+from repro.serving import (QueryEngine, ServingRegistry, open_current,
+                           publish_version)
 
 
 def _generation_bundle(generation: int, n: int = 64, dim: int = 8):
@@ -96,6 +105,159 @@ def test_hot_swap_mid_query_stream_is_never_torn():
     _, final_scores = reg.topk("live", probe, k)
     np.testing.assert_allclose(final_scores,
                                generations ** 2 * base_scores, rtol=1e-9)
+
+
+def _implied_generations(scores, base_scores):
+    return np.sqrt(np.abs(scores / base_scores))
+
+
+@pytest.mark.parametrize("engine_options", [
+    {"cache_size": 0},                             # flat engine
+    {"cache_size": 0, "shards": 3},                # sharded engine
+], ids=["flat", "sharded"])
+def test_scheduled_swap_race_never_mixes_generations(engine_options):
+    """Every swap is barrier-scheduled to land between two queries.
+
+    Two readers and one writer march through a fixed schedule: query,
+    rendezvous, (writer swaps), rendezvous, query — for each
+    generation. Each query's answer must be internally one generation,
+    and the post-swap query must be internally consistent too (either
+    generation is legal: an engine resolved before the flip may finish
+    on the old one).
+    """
+    n, k, gens, readers = 64, 5, 6, 2
+    reg = ServingRegistry()
+    reg.register("live", generation_embedding(0, n=n), **engine_options)
+    probe = np.arange(8)
+    _, base_scores = QueryEngine(generation_embedding(0, n=n),
+                                 cache_size=0).topk(probe, k)
+    sched = BarrierSchedule(parties=readers + 1)
+    errors: list[BaseException] = []
+
+    def reader():
+        try:
+            for g in range(1, gens):
+                _, scores = reg.topk("live", probe, k)
+                implied = _implied_generations(scores, base_scores)
+                assert implied.max() - implied.min() < 1e-6
+                sched.sync(f"pre-swap-{g}")
+                sched.sync(f"post-swap-{g}")
+                _, scores = reg.topk("live", probe, k)
+                implied = _implied_generations(scores, base_scores)
+                assert implied.max() - implied.min() < 1e-6
+        except BaseException as exc:   # noqa: BLE001
+            errors.append(exc)
+            sched.abort()
+
+    def writer():
+        try:
+            for g in range(1, gens):
+                sched.sync(f"pre-swap-{g}")
+                reg.swap("live", generation_embedding(g, n=n),
+                         **engine_options)
+                sched.sync(f"post-swap-{g}")
+        except BaseException as exc:   # noqa: BLE001
+            errors.append(exc)
+            sched.abort()
+
+    threads = [threading.Thread(target=reader) for _ in range(readers)]
+    threads.append(threading.Thread(target=writer))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, f"scheduled swap race failed: {errors[:1]}"
+    _, final = reg.topk("live", probe, k)
+    np.testing.assert_allclose(final, gens ** 2 * base_scores, rtol=1e-9)
+
+
+@pytest.mark.parametrize("shards", [None, 3], ids=["flat", "sharded"])
+def test_scheduled_publish_open_current_race(tmp_path, shards):
+    """open_current around barrier-scheduled publish_version flips.
+
+    The reader opens the root before and after every publish; each
+    opened store must be a complete single-generation version (rows
+    scale exactly by gen + 1), for flat and sharded versions alike.
+    """
+    n, gens = 48, 5
+    root = tmp_path / "root"
+    publish_version(root, generation_embedding(0, n=n), shards=shards)
+    base_rows = generation_embedding(0, n=n).embedding_[:6]
+    sched = BarrierSchedule(parties=2)
+    errors: list[BaseException] = []
+
+    def check_open():
+        store = open_current(root)
+        gen = int(store.name.removeprefix("gen"))
+        rows = store.embedding_[np.arange(6)]
+        np.testing.assert_allclose(rows, (gen + 1.0) * base_rows,
+                                   rtol=1e-12)
+        ids, _ = store.to_serving(cache_size=0).topk(0, 4)
+        assert len(ids) == 4
+
+    def reader():
+        try:
+            for g in range(1, gens):
+                check_open()
+                sched.sync(f"pre-publish-{g}")
+                sched.sync(f"post-publish-{g}")
+                check_open()
+        except BaseException as exc:   # noqa: BLE001
+            errors.append(exc)
+            sched.abort()
+
+    def publisher():
+        try:
+            for g in range(1, gens):
+                sched.sync(f"pre-publish-{g}")
+                publish_version(root, generation_embedding(g, n=n),
+                                keep=2, shards=shards)
+                sched.sync(f"post-publish-{g}")
+        except BaseException as exc:   # noqa: BLE001
+            errors.append(exc)
+            sched.abort()
+
+    threads = [threading.Thread(target=reader),
+               threading.Thread(target=publisher)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, f"publish/open race failed: {errors[:1]}"
+    assert open_current(root).name == f"gen{gens - 1}"
+
+
+def test_storm_through_swaps_with_harness_sharded():
+    """Free-running (but bounded) storm: sharded swaps under load."""
+    n, k, gens = 64, 5, 8
+    reg = ServingRegistry()
+    reg.register("live", generation_embedding(0, n=n), cache_size=0,
+                 shards=2)
+    probe = np.arange(6)
+    _, base_scores = QueryEngine(generation_embedding(0, n=n),
+                                 cache_size=0).topk(probe, k)
+    stop = threading.Event()
+    storm_running = threading.Event()
+
+    def work(tid, i, rng):
+        storm_running.set()
+        _, scores = reg.topk("live", probe, k)
+        implied = _implied_generations(scores, base_scores)
+        assert implied.max() - implied.min() < 1e-6
+
+    def writer():
+        storm_running.wait(timeout=10.0)   # swap under load, not before
+        for g in range(1, gens):
+            reg.swap("live", generation_embedding(g, n=n), cache_size=0,
+                     shards=2)
+        stop.set()
+
+    w = threading.Thread(target=writer)
+    w.start()
+    result = run_storm(work, threads=3, stop=stop, duration=20.0)
+    w.join()
+    result.raise_errors()
+    assert result.total_ops > 0
 
 
 def test_concurrent_register_replace_and_get():

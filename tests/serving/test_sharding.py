@@ -1,0 +1,415 @@
+"""Sharded store + scatter-gather router: parity, layout, faults.
+
+Three layers of guarantees:
+
+* **merge correctness** (property tests): for randomized ``(n, d, k,
+  num_shards)`` — including ``k`` larger than every shard and more
+  shards than nodes (empty shards) — the sharded engine's top-k ids
+  bit-match the unsharded exact index, and the scores match to within
+  a few ulp. (Not bit-for-bit by construction: BLAS selects different
+  — equally correct — microkernels for different GEMM shapes, so a
+  per-shard product can differ from the full product in the last bits;
+  the seed's own blocked ``ExactIndex`` behaves identically across its
+  block boundary.);
+* **layout validation**: the shard map must tile the id space and
+  agree with the directories on disk, else
+  :class:`~repro.errors.ShardLayoutError`;
+* **fault injection**: each way a store can rot on disk (truncated
+  matrix, torn manifest, shard-count mismatch, stale ``CURRENT``)
+  raises its typed :mod:`repro.errors` exception with an actionable
+  message, never a raw ``ValueError``/``OSError``.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from harness import (drop_shard_dir, set_current_pointer, tear_json,
+                     truncate_file)
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import NRP
+from repro.errors import (ParameterError, ReproError, ShardLayoutError,
+                          StalePointerError, StoreCorruptError, StoreError)
+from repro.io import EmbeddingBundle
+from repro.serving import (SHARDS_NAME, EmbeddingStore, QueryEngine,
+                           ServingRegistry, ShardedEmbeddingStore,
+                           ShardedQueryEngine, make_engine, open_current,
+                           open_store, publish_version, shard_boundaries,
+                           shard_store)
+
+
+def assert_scores_match(actual, desired):
+    """Scores equal up to BLAS kernel-shape wiggle (a few ulp).
+
+    Different GEMM shapes select different accumulation orders, so the
+    per-shard products can differ from the full product in the last
+    bits; 1e-12 absolute / 1e-9 relative is ~1000x tighter than any
+    ranking-relevant difference while robust to that wiggle.
+    """
+    np.testing.assert_allclose(np.asarray(actual), np.asarray(desired),
+                               rtol=1e-9, atol=1e-12)
+
+
+def _bundle(n, d, seed, directional=False):
+    rng = np.random.default_rng(seed)
+    if directional:
+        return EmbeddingBundle(
+            name="dir", directional=True,
+            forward=rng.standard_normal((n, d)),
+            backward=rng.standard_normal((n, d)))
+    return EmbeddingBundle(name="flat", directional=False,
+                           embedding=rng.standard_normal((n, d)))
+
+
+# ----------------------------------------------------------------------
+# shard boundaries
+# ----------------------------------------------------------------------
+
+@given(st.integers(0, 500), st.integers(1, 40))
+@settings(max_examples=60, deadline=None)
+def test_shard_boundaries_tile_exactly(n, num_shards):
+    bounds = shard_boundaries(n, num_shards)
+    assert bounds[0] == 0 and bounds[-1] == n
+    sizes = np.diff(bounds)
+    assert len(sizes) == num_shards
+    assert np.all(sizes >= 0)
+    assert sizes.max() - sizes.min() <= 1 if n else True
+
+
+def test_shard_boundaries_validation():
+    with pytest.raises(ParameterError, match="num_shards"):
+        shard_boundaries(10, 0)
+    with pytest.raises(ParameterError, match="num_nodes"):
+        shard_boundaries(-1, 2)
+
+
+# ----------------------------------------------------------------------
+# property tests: merge parity with the unsharded exact path
+# ----------------------------------------------------------------------
+
+@st.composite
+def parity_cases(draw):
+    n = draw(st.integers(3, 120))
+    d = draw(st.integers(2, 12))
+    # deliberately allow k > n (result narrows) and shards > n (empties)
+    k = draw(st.integers(1, 2 * n))
+    num_shards = draw(st.integers(1, min(3 * n, 24)))
+    directional = draw(st.booleans())
+    seed = draw(st.integers(0, 10_000))
+    return n, d, k, num_shards, directional, seed
+
+
+@given(parity_cases())
+@settings(max_examples=40, deadline=None)
+def test_sharded_topk_bitmatches_unsharded_exact(case):
+    n, d, k, num_shards, directional, seed = case
+    source = _bundle(n, d, seed, directional)
+    flat = QueryEngine(source, cache_size=0)
+    sharded = ShardedQueryEngine(source, shards=num_shards, cache_size=0,
+                                 workers=2)
+    rng = np.random.default_rng(seed + 1)
+    nodes = rng.integers(0, n, size=min(n, 16))
+    flat_ids, flat_scores = flat.topk(nodes, k)
+    sh_ids, sh_scores = sharded.topk(nodes, k)
+    np.testing.assert_array_equal(sh_ids, flat_ids)
+    assert_scores_match(sh_scores, flat_scores)
+    assert sh_ids.shape == (len(nodes), min(k, n))
+
+
+@given(parity_cases())
+@settings(max_examples=12, deadline=None)
+def test_on_disk_sharded_store_bitmatches_unsharded(case):
+    n, d, k, num_shards, directional, seed = case
+    source = _bundle(n, d, seed, directional)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = shard_store(source, Path(tmp) / "s",
+                            num_shards=num_shards)
+        flat = QueryEngine(source, cache_size=0)
+        engine = store.to_serving(cache_size=0)
+        assert isinstance(engine, ShardedQueryEngine)
+        nodes = np.arange(0, n, max(1, n // 7))
+        flat_ids, flat_scores = flat.topk(nodes, k)
+        sh_ids, sh_scores = engine.topk(nodes, k)
+        np.testing.assert_array_equal(sh_ids, flat_ids)
+        assert_scores_match(sh_scores, flat_scores)
+        # pair scores go through the virtual gather path and ARE
+        # bit-identical (same einsum over the same gathered rows)
+        src = np.arange(min(n, 5))
+        dst = np.arange(min(n, 5))[::-1].copy()
+        np.testing.assert_array_equal(engine.score(src, dst),
+                                      flat.score(src, dst))
+
+
+def test_k_larger_than_every_shard(tmp_path):
+    source = _bundle(60, 6, seed=3)
+    store = shard_store(source, tmp_path / "s", num_shards=10)  # 6/shard
+    flat = QueryEngine(source, cache_size=0)
+    engine = store.to_serving(cache_size=0)
+    ids, scores = engine.topk([0, 30, 59], k=25)      # k >> shard size
+    ref_ids, ref_scores = flat.topk([0, 30, 59], k=25)
+    np.testing.assert_array_equal(ids, ref_ids)
+    assert_scores_match(scores, ref_scores)
+
+
+def test_more_shards_than_nodes_roundtrip(tmp_path):
+    source = _bundle(5, 4, seed=9)
+    store = shard_store(source, tmp_path / "s", num_shards=9)
+    assert store.num_shards == 9
+    assert sum(s is None for s in store.shards) == 4     # empty shards
+    engine = store.to_serving(cache_size=0)
+    ids, _ = engine.topk(2, k=5)
+    ref, _ = QueryEngine(source, cache_size=0).topk(2, k=5)
+    np.testing.assert_array_equal(ids, ref)
+
+
+# ----------------------------------------------------------------------
+# store mechanics
+# ----------------------------------------------------------------------
+
+def test_shard_store_from_fitted_model_and_reshard(small_undirected,
+                                                   tmp_path):
+    model = NRP(dim=16, svd="exact", seed=0).fit(small_undirected)
+    store = shard_store(model, tmp_path / "s3", num_shards=3)
+    assert store.directional and store.dim == 16
+    # per-node extras (reweighting vectors) ride along, sliced per shard
+    w = np.concatenate([np.asarray(s.metadata["w_fwd"])
+                        for s in store.shards])
+    np.testing.assert_array_equal(w, model.w_fwd_)
+    # the sharded store re-exposes the stitched extras itself
+    np.testing.assert_array_equal(np.asarray(store.metadata["w_fwd"]),
+                                  model.w_fwd_)
+    # shard an existing flat store via the method
+    flat = model.export_store(tmp_path / "flat")
+    sharded = flat.shard(tmp_path / "s4", 4)
+    assert sharded.num_shards == 4
+    # reshard a sharded store: matrices AND extras survive
+    re2 = shard_store(sharded, tmp_path / "s2", num_shards=2)
+    np.testing.assert_array_equal(np.asarray(re2.forward_),
+                                  model.forward_)
+    np.testing.assert_array_equal(np.asarray(re2.metadata["w_fwd"]),
+                                  model.w_fwd_)
+    assert store.shard_of(0) == 0
+    assert store.shard_of(store.num_nodes - 1) == store.num_shards - 1
+    with pytest.raises(ParameterError, match="out of range"):
+        store.shard_of(store.num_nodes)
+
+
+def test_reshard_onto_same_root_with_fewer_shards(tmp_path):
+    """Regression: stale shard dirs from a previous export must go.
+
+    Re-running ``repro-serve shard`` (or shard_store) onto the same
+    target with a smaller shard count used to commit a map naming 2
+    directories while 3 remained on disk — making the root fail its own
+    layout validation forever after.
+    """
+    source = _bundle(48, 5, seed=4)
+    shard_store(source, tmp_path / "s", num_shards=3)
+    store = shard_store(source, tmp_path / "s", num_shards=2)
+    assert store.num_shards == 2
+    reopened = ShardedEmbeddingStore.open(tmp_path / "s")
+    np.testing.assert_array_equal(np.asarray(reopened.embedding_),
+                                  source.embedding_)
+
+
+def test_sharded_publish_keeps_structured_metadata(tmp_path):
+    # list/dict metadata survives the sharded path like the flat one
+    store = publish_version(tmp_path / "root", _bundle(20, 4, seed=6),
+                            metadata={"tags": ["a", "b"],
+                                      "params": {"lam": 10}},
+                            shards=2)
+    reopened = open_current(tmp_path / "root")
+    assert reopened.metadata["tags"] == ["a", "b"]
+    assert reopened.metadata["params"] == {"lam": 10}
+
+
+def test_publish_version_shards_one_and_invalid(tmp_path):
+    # shards=1 publishes a real (one-shard) sharded root, like every
+    # other shards entry point; invalid counts raise instead of
+    # silently degrading to a flat store
+    store = publish_version(tmp_path / "root", _bundle(20, 4, seed=6),
+                            shards=1)
+    assert isinstance(store, ShardedEmbeddingStore)
+    assert store.num_shards == 1
+    assert isinstance(open_current(tmp_path / "root"),
+                      ShardedEmbeddingStore)
+    with pytest.raises(ParameterError, match="num_shards"):
+        publish_version(tmp_path / "root", _bundle(20, 4, seed=6),
+                        shards=0)
+
+
+def test_open_store_dispatches_by_manifest(tmp_path, small_undirected):
+    model = NRP(dim=16, svd="exact", seed=0).fit(small_undirected)
+    model.export_store(tmp_path / "flat")
+    shard_store(model, tmp_path / "sh", num_shards=2)
+    assert isinstance(open_store(tmp_path / "flat"), EmbeddingStore)
+    assert isinstance(open_store(tmp_path / "sh"), ShardedEmbeddingStore)
+    with pytest.raises(StoreError, match="missing"):
+        open_store(tmp_path / "nope")
+
+
+def test_sharded_matrix_access_patterns(tmp_path):
+    source = _bundle(40, 5, seed=2)
+    store = shard_store(source, tmp_path / "s", num_shards=3)
+    virt = store.embedding_
+    assert virt.shape == (40, 5)
+    np.testing.assert_array_equal(virt[7], source.embedding_[7])
+    np.testing.assert_array_equal(virt[[39, 0, 13]],
+                                  source.embedding_[[39, 0, 13]])
+    np.testing.assert_array_equal(virt[5:20], source.embedding_[5:20])
+    vec = np.arange(5, dtype=float)
+    np.testing.assert_allclose(virt @ vec, source.embedding_ @ vec)
+    np.testing.assert_array_equal(np.asarray(virt), source.embedding_)
+    with pytest.raises(ParameterError, match="out of range"):
+        virt[[40]]
+
+
+def test_registry_and_make_engine_flavors(tmp_path):
+    source = _bundle(30, 4, seed=5)
+    store = shard_store(source, tmp_path / "s", num_shards=2)
+    reg = ServingRegistry()
+    engine = reg.register("sharded", store, cache_size=0)
+    assert isinstance(engine, ShardedQueryEngine)
+    flat = reg.register("flat", source, cache_size=0)
+    assert type(flat) is QueryEngine
+    swapped = reg.swap("flat", source, shards=2, cache_size=0)
+    assert isinstance(swapped, ShardedQueryEngine)
+
+    assert isinstance(make_engine(source, shards=1), ShardedQueryEngine)
+    with pytest.raises(ParameterError, match="sharded"):
+        make_engine(store, engine="flat")
+    with pytest.raises(ParameterError, match="shards"):
+        make_engine(source, engine="flat", shards=2)
+    with pytest.raises(ParameterError, match="workers"):
+        make_engine(source, engine="flat", workers=2)
+    with pytest.raises(ParameterError, match="unknown engine"):
+        make_engine(source, engine="hybrid")
+    with pytest.raises(ParameterError, match="shards=N is required"):
+        make_engine(source, engine="sharded")
+    with pytest.raises(ParameterError, match="cannot re-shard"):
+        make_engine(store, shards=5)
+
+
+def test_to_serving_shards_param(small_undirected):
+    model = NRP(dim=16, svd="exact", seed=0).fit(small_undirected)
+    engine = model.to_serving(shards=4, workers=1, cache_size=0)
+    assert isinstance(engine, ShardedQueryEngine)
+    assert engine.num_shards == 4
+    ids, scores = engine.topk(11, k=8)
+    flat_ids, flat_scores = model.to_serving(cache_size=0).topk(11, k=8)
+    np.testing.assert_array_equal(ids, flat_ids)
+    assert_scores_match(scores, flat_scores)
+
+
+def test_sharded_ivf_runs_and_is_plausible(tmp_path):
+    source = _bundle(300, 8, seed=11)
+    store = shard_store(source, tmp_path / "s", num_shards=3)
+    engine = store.to_serving(index="ivf", cache_size=0, num_lists=8,
+                              nprobe=8)   # probe all lists: exact
+    ids, scores = engine.topk([1, 100, 299], k=5)
+    ref_ids, _ = QueryEngine(source, cache_size=0).topk([1, 100, 299], k=5)
+    np.testing.assert_array_equal(ids, ref_ids)
+
+
+# ----------------------------------------------------------------------
+# fault injection -> typed errors
+# ----------------------------------------------------------------------
+
+def test_truncated_shard_matrix_is_typed(tmp_path):
+    store = shard_store(_bundle(50, 6, seed=0), tmp_path / "s",
+                        num_shards=2)
+    truncate_file(store.shards[1].root / "embedding.npy")
+    with pytest.raises(StoreCorruptError, match="truncated|re-export"):
+        ShardedEmbeddingStore.open(tmp_path / "s")
+
+
+def test_truncated_flat_matrix_is_typed(tmp_path):
+    store = shard_store(_bundle(50, 6, seed=0), tmp_path / "s",
+                        num_shards=2)
+    # the same fault against the flat open path directly
+    truncate_file(store.shards[0].root / "embedding.npy")
+    with pytest.raises(StoreCorruptError, match="truncated|re-export"):
+        EmbeddingStore.open(store.shards[0].root)
+
+
+def test_missing_shard_dir_is_layout_error(tmp_path):
+    shard_store(_bundle(50, 6, seed=0), tmp_path / "s", num_shards=3)
+    drop_shard_dir(tmp_path / "s", 1)
+    with pytest.raises(ShardLayoutError, match="exist on disk"):
+        ShardedEmbeddingStore.open(tmp_path / "s")
+
+
+def test_extra_shard_dir_is_layout_error(tmp_path):
+    store = shard_store(_bundle(50, 6, seed=0), tmp_path / "s",
+                        num_shards=2)
+    import shutil
+    shutil.copytree(store.shards[0].root, tmp_path / "s" / "shard-00009")
+    with pytest.raises(ShardLayoutError, match="exist on disk"):
+        ShardedEmbeddingStore.open(tmp_path / "s")
+
+
+def test_shard_count_mismatch_in_map_is_layout_error(tmp_path):
+    shard_store(_bundle(50, 6, seed=0), tmp_path / "s", num_shards=2)
+    map_path = tmp_path / "s" / SHARDS_NAME
+    manifest = json.loads(map_path.read_text())
+    manifest["num_shards"] = 5
+    map_path.write_text(json.dumps(manifest))
+    with pytest.raises(ShardLayoutError, match="num_shards=5"):
+        ShardedEmbeddingStore.open(tmp_path / "s")
+
+
+def test_broken_range_tiling_is_layout_error(tmp_path):
+    shard_store(_bundle(50, 6, seed=0), tmp_path / "s", num_shards=2)
+    map_path = tmp_path / "s" / SHARDS_NAME
+    manifest = json.loads(map_path.read_text())
+    manifest["shards"][1]["start"] += 1          # gap between shards
+    map_path.write_text(json.dumps(manifest))
+    with pytest.raises(ShardLayoutError, match="tile"):
+        ShardedEmbeddingStore.open(tmp_path / "s")
+
+
+def test_stale_shard_range_is_layout_error(tmp_path):
+    shard_store(_bundle(50, 6, seed=0), tmp_path / "s", num_shards=2)
+    map_path = tmp_path / "s" / SHARDS_NAME
+    manifest = json.loads(map_path.read_text())
+    for entry in manifest["shards"]:             # shift the split point
+        entry["start"] = 0 if entry["start"] == 0 else 20
+        entry["stop"] = 20 if entry["stop"] == 25 else 50
+    map_path.write_text(json.dumps(manifest))
+    with pytest.raises(ShardLayoutError, match="stale"):
+        ShardedEmbeddingStore.open(tmp_path / "s")
+
+
+def test_torn_shard_map_is_typed(tmp_path):
+    shard_store(_bundle(50, 6, seed=0), tmp_path / "s", num_shards=2)
+    tear_json(tmp_path / "s" / SHARDS_NAME)
+    with pytest.raises(StoreCorruptError, match="corrupt shard map"):
+        ShardedEmbeddingStore.open(tmp_path / "s")
+
+
+def test_stale_current_pointer_is_typed(tmp_path):
+    publish_version(tmp_path / "root", _bundle(30, 4, seed=1), shards=2)
+    set_current_pointer(tmp_path / "root", "v000042")
+    with pytest.raises(StalePointerError, match="v000042"):
+        open_current(tmp_path / "root")
+
+
+def test_fault_errors_are_repro_errors():
+    # callers catching the base class keep working across the new types
+    for exc_type in (StoreError, StoreCorruptError, ShardLayoutError,
+                     StalePointerError):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_versioned_sharded_roundtrip(tmp_path):
+    root = tmp_path / "root"
+    publish_version(root, _bundle(30, 4, seed=1), shards=2)
+    publish_version(root, _bundle(30, 4, seed=2))            # flat v2
+    store = publish_version(root, _bundle(30, 4, seed=3), shards=3)
+    assert isinstance(store, ShardedEmbeddingStore)
+    current = open_current(root)
+    assert isinstance(current, ShardedEmbeddingStore)
+    assert current.version == 3 and current.num_shards == 3

@@ -82,6 +82,36 @@ def test_stream_end_to_end(stream_inputs, tmp_path, capsys):
     assert engine.score([u], [v])[0] != 0.0
 
 
+def test_stream_publishes_sharded_versions(stream_inputs, tmp_path,
+                                           capsys):
+    from repro.serving import ShardedEmbeddingStore, ShardedQueryEngine
+    graph, base_path, delta_path, new = stream_inputs
+    root = tmp_path / "root"
+    rc = main([str(base_path), str(delta_path), str(root),
+               "--dim", "16", "--ell2", "2", "--batch-size", "16",
+               "--drift-threshold", "0", "--max-staleness", "0",
+               "--shards", "3"])
+    assert rc == 0
+    capsys.readouterr()
+    assert list_versions(root) == [1, 2, 3]
+    store = open_current(root)
+    assert isinstance(store, ShardedEmbeddingStore)
+    assert store.version == 3 and store.num_shards == 3
+    assert store.metadata["stream_batches"] == 2
+    engine = store.to_serving(cache_size=0)
+    assert isinstance(engine, ShardedQueryEngine)
+    u, v = new[0]
+    assert engine.score([u], [v])[0] != 0.0
+
+
+def test_stream_rejects_bad_shards(stream_inputs, tmp_path, capsys):
+    graph, base_path, delta_path, new = stream_inputs
+    rc = main([str(base_path), str(delta_path), str(tmp_path / "r"),
+               "--shards", "0"])
+    assert rc == 2
+    assert "--shards" in capsys.readouterr().err
+
+
 def test_stream_keep_versions_and_max_batches(stream_inputs, tmp_path,
                                               capsys):
     _, base_path, delta_path, _ = stream_inputs

@@ -1,0 +1,215 @@
+"""Concurrency / fault soak tests for sharded + versioned serving.
+
+These are the heavyweight companions to the deterministic race tests
+in ``tests/serving/``: real thread storms (marked ``slow``, run by the
+CI slow job) hammering a live registry and a versioned store root while
+versions are published, swapped, pruned, and damaged underneath them.
+
+Invariants pinned here:
+
+* a query storm through :class:`~repro.serving.ServingRegistry.swap`
+  never returns an answer mixing two model generations, sharded or
+  flat, and never raises;
+* readers racing ``publish_version``/``open_current`` churn (with
+  aggressive ``keep`` pruning, flat and sharded versions interleaved)
+  always land on a complete version;
+* injected shard corruption — truncated matrix, torn shard map, torn
+  store manifest — surfaces to concurrent openers as the typed
+  :mod:`repro.errors` exceptions and nothing else (no raw OSError, no
+  garbled results).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from harness import (drop_shard_dir, generation_embedding, run_storm,
+                     set_current_pointer, tear_json, truncate_file)
+
+from repro.errors import (ShardLayoutError, StalePointerError,
+                          StoreCorruptError, StoreError)
+from repro.serving import (MANIFEST_NAME, SHARDS_NAME, ServingRegistry,
+                           open_current, publish_version, shard_store)
+
+pytestmark = pytest.mark.slow
+
+N, DIM, K = 96, 8, 7
+GENERATIONS = 24
+
+
+def _expected_scores(scores, base_scores):
+    """Implied generation per row, from the (g+1)^2 score scaling."""
+    return np.sqrt(np.abs(scores / base_scores))
+
+
+def test_registry_swap_storm_sharded_and_flat():
+    """Swap flat->sharded->flat generations under a 6-thread storm."""
+    reg = ServingRegistry()
+    reg.register("live", generation_embedding(0, n=N, dim=DIM),
+                 cache_size=0)
+    probe = np.arange(10)
+    base = generation_embedding(0, n=N, dim=DIM)
+    from repro.serving import QueryEngine
+    _, base_scores = QueryEngine(base, cache_size=0).topk(probe, K)
+    stop = threading.Event()
+    storm_running = threading.Event()
+
+    def work(tid, i, rng):
+        storm_running.set()
+        ids, scores = reg.topk("live", probe, K)
+        assert ids.shape == (len(probe), K)
+        implied = _expected_scores(scores, base_scores)
+        spread = implied.max() - implied.min()
+        assert spread < 1e-6, f"torn answer across generations: {implied}"
+
+    def writer():
+        storm_running.wait(timeout=10.0)   # swap under load, not before
+        for g in range(1, GENERATIONS):
+            # alternate engine flavors so the swap also crosses the
+            # flat <-> sharded boundary, not just model generations
+            opts = ({"shards": 4, "cache_size": 0} if g % 2
+                    else {"cache_size": 0})
+            reg.swap("live", generation_embedding(g, n=N, dim=DIM), **opts)
+        stop.set()
+
+    w = threading.Thread(target=writer)
+    w.start()
+    result = run_storm(work, threads=6, stop=stop, duration=30.0)
+    w.join()
+    result.raise_errors()
+    assert result.total_ops > 0
+    _, final = reg.topk("live", probe, K)
+    np.testing.assert_allclose(final, GENERATIONS ** 2 * base_scores,
+                               rtol=1e-9)
+
+
+def test_publish_churn_storm_versioned_root(tmp_path):
+    """open_current readers race publishes with keep=2 pruning."""
+    root = tmp_path / "root"
+    publish_version(root, generation_embedding(0, n=N, dim=DIM))
+    stop = threading.Event()
+    storm_running = threading.Event()
+    publish_errors = []
+
+    def publisher():
+        storm_running.wait(timeout=10.0)
+        try:
+            for g in range(1, GENERATIONS):
+                publish_version(root, generation_embedding(g, n=N, dim=DIM),
+                                keep=2, shards=3 if g % 2 else None)
+        except BaseException as exc:   # noqa: BLE001
+            publish_errors.append(exc)
+        finally:
+            stop.set()
+
+    def work(tid, i, rng):
+        storm_running.set()
+        store = open_current(root)
+        # every row of the opened version must carry one generation
+        rows = store.embedding_[np.arange(8)]
+        gen = int(store.name.removeprefix("gen"))
+        base = generation_embedding(0, n=N, dim=DIM).embedding_[:8]
+        np.testing.assert_allclose(rows, (gen + 1.0) * base, rtol=1e-12)
+        engine = store.to_serving(cache_size=0)
+        ids, scores = engine.topk(int(rng.integers(0, N)), K)
+        assert len(ids) == K
+
+    p = threading.Thread(target=publisher)
+    p.start()
+    result = run_storm(work, threads=4, stop=stop, duration=60.0)
+    p.join()
+    assert not publish_errors, publish_errors[:1]
+    result.raise_errors()
+    assert result.total_ops > 0
+
+
+def test_truncated_shard_matrix_fails_typed_under_concurrent_opens(
+        tmp_path):
+    src = generation_embedding(3, n=N, dim=DIM)
+    store = shard_store(src, tmp_path / "sh", num_shards=4)
+    victim = store.shards[2].root / "embedding.npy"
+    truncate_file(victim, keep_fraction=0.4)
+
+    from repro.serving import ShardedEmbeddingStore
+
+    def work(tid, i, rng):
+        with pytest.raises(StoreCorruptError, match="truncated"):
+            ShardedEmbeddingStore.open(tmp_path / "sh")
+
+    result = run_storm(work, threads=6, iterations=10)
+    result.raise_errors()
+    assert result.total_ops == 60
+
+
+def test_torn_shard_map_fails_typed_under_concurrent_opens(tmp_path):
+    src = generation_embedding(1, n=N, dim=DIM)
+    shard_store(src, tmp_path / "sh", num_shards=3)
+    tear_json(tmp_path / "sh" / SHARDS_NAME)
+
+    from repro.serving import ShardedEmbeddingStore
+
+    def work(tid, i, rng):
+        with pytest.raises(StoreCorruptError, match="corrupt shard map"):
+            ShardedEmbeddingStore.open(tmp_path / "sh")
+
+    run_storm(work, threads=4, iterations=10).raise_errors()
+
+
+def test_faults_surface_only_typed_errors_during_churn(tmp_path):
+    """Mixed fault storm: every failure is a ReproError subclass.
+
+    A publisher keeps publishing clean versions while a saboteur
+    truncates matrices, tears manifests, drops shard dirs, and staples
+    the CURRENT pointer to garbage. Readers may see clean stores or
+    typed errors — never an unhandled OSError/ValueError and never a
+    wrong-generation row.
+    """
+    root = tmp_path / "root"
+    publish_version(root, generation_embedding(0, n=N, dim=DIM), shards=3)
+    stop = threading.Event()
+    storm_running = threading.Event()
+    chaos_errors = []
+
+    def saboteur():
+        storm_running.wait(timeout=10.0)
+        try:
+            for g in range(1, 12):
+                store = publish_version(
+                    root, generation_embedding(g, n=N, dim=DIM),
+                    keep=3, shards=3 if g % 2 else None)
+                fault = g % 4
+                if fault == 0:
+                    set_current_pointer(root, "v999999")
+                elif fault == 1 and hasattr(store, "shards"):
+                    truncate_file(store.shards[0].root / "embedding.npy")
+                elif fault == 2 and hasattr(store, "shards"):
+                    drop_shard_dir(store.root, 1)
+                elif fault == 3:
+                    target = (store.root / MANIFEST_NAME
+                              if not hasattr(store, "shards")
+                              else store.root / SHARDS_NAME)
+                    tear_json(target)
+        except BaseException as exc:   # noqa: BLE001
+            chaos_errors.append(exc)
+        finally:
+            stop.set()
+
+    def work(tid, i, rng):
+        storm_running.set()
+        try:
+            store = open_current(root)
+            rows = store.embedding_[np.arange(4)]
+            gen = int(store.name.removeprefix("gen"))
+            base = generation_embedding(0, n=N, dim=DIM).embedding_[:4]
+            np.testing.assert_allclose(rows, (gen + 1.0) * base, rtol=1e-12)
+        except (StoreError, StoreCorruptError, ShardLayoutError,
+                StalePointerError):
+            pass        # typed failure: exactly what faults must produce
+
+    s = threading.Thread(target=saboteur)
+    s.start()
+    result = run_storm(work, threads=4, stop=stop, duration=60.0)
+    s.join()
+    assert not chaos_errors, chaos_errors[:1]
+    result.raise_errors()       # anything untyped escaped the open paths
+    assert result.total_ops > 0
