@@ -1,0 +1,172 @@
+"""Push-kernel throughput: seed scalar loop vs frontier-batched kernels.
+
+The kernel layer (PR 5, ``repro.ppr.kernels``) replaced the pure-Python
+one-node-at-a-time ``deque`` push with frontier-synchronous kernels and
+a multi-source batched API. At several graph sizes this bench times
+
+* ``scalar`` — the seed reference loop (``kernel="scalar"``), one push
+  per Python iteration, extrapolated per-source from a couple of runs;
+* ``single`` — the NumPy frontier kernel, one source per call;
+* ``batch``  — the NumPy kernel over a 64-source batch, per-source;
+* the numba kernel (same two measurements) when the optional
+  dependency is importable.
+
+Precision is ``r_max = 1e-7`` for forward push — the regime the
+paper's scalability claims (Fig. 10) and STRAP-grade factorizations
+live in, where the scalar loop's per-push interpreter overhead
+dominates. A backward-push column rides along at its own default-ish
+``1e-6``. Parity of every kernel against the scalar rows is recorded
+within the additive residue bound. Results land in
+``benchmarks/results/push_kernels.json`` for the CI artifact; the
+final asserts pin the acceptance criteria — >= 10x single-source and
+>= 30x 64-source-batch speedup at the >= 100k-node size on the NumPy
+path alone.
+
+Runnable standalone (``python benchmarks/bench_push_kernels.py``) or
+via pytest (marked ``slow``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import bench_scale, format_table
+from repro.graph import powerlaw_community
+from repro.ppr import HAS_NUMBA, backward_push_batch, forward_push_batch
+from repro.rng import ensure_rng
+
+try:
+    from conftest import report
+except ImportError:      # standalone script mode
+    def report(name, block):
+        print(block)
+
+pytestmark = pytest.mark.slow
+
+SIZES = (10_000, 50_000, 100_000)
+EDGE_FACTOR = 5
+R_MAX = 1e-7
+R_MAX_BACKWARD = 1e-6
+BATCH = 64
+SCALAR_SOURCES = 2       # ~10 s/source at 100k nodes: extrapolate
+SINGLE_SOURCES = 4
+SINGLE_TARGET = 10.0     # acceptance: NumPy single-source speedup
+BATCH_TARGET = 30.0      # acceptance: NumPy 64-source-batch speedup
+RESULTS_PATH = Path(__file__).parent / "results" / "push_kernels.json"
+
+
+def _per_source(fn, sources, *, one_at_a_time: bool) -> float:
+    start = time.perf_counter()
+    if one_at_a_time:
+        for source in sources:
+            fn([source])
+    else:
+        fn(sources)
+    return (time.perf_counter() - start) / len(sources)
+
+
+def _measure(num_nodes: int, seed: int = 0) -> dict:
+    graph, _ = powerlaw_community(num_nodes, EDGE_FACTOR * num_nodes,
+                                  num_communities=16, seed=seed)
+    rng = ensure_rng(seed + 1)
+    sources = rng.integers(0, graph.num_nodes, BATCH)
+
+    def forward(batch, kernel):
+        return forward_push_batch(graph, np.asarray(batch), r_max=R_MAX,
+                                  kernel=kernel)
+
+    t_scalar = _per_source(
+        lambda s: forward(s, "scalar"), sources[:SCALAR_SOURCES],
+        one_at_a_time=True)
+    t_single = _per_source(
+        lambda s: forward(s, "numpy"), sources[:SINGLE_SOURCES],
+        one_at_a_time=True)
+    t_batch = _per_source(lambda s: forward(s, "numpy"), sources,
+                          one_at_a_time=False)
+
+    # parity: batch rows vs the scalar reference, within the additive
+    # bound both sit inside (each is within sum(residue) of exact)
+    est_scalar, res_scalar = forward(sources[:SCALAR_SOURCES], "scalar")
+    est_batch, res_batch = forward(sources, "numpy")
+    bound = (res_batch[:SCALAR_SOURCES].sum(axis=1)
+             + res_scalar.sum(axis=1))
+    diff = np.abs(est_batch[:SCALAR_SOURCES] - est_scalar).max(axis=1)
+    parity_ok = bool(np.all(diff <= bound + 1e-12))
+
+    # backward push rides along at one scalar target
+    t_bwd_scalar = _per_source(
+        lambda t: backward_push_batch(graph, np.asarray(t),
+                                      r_max=R_MAX_BACKWARD,
+                                      kernel="scalar"),
+        sources[:1], one_at_a_time=True)
+    t_bwd_batch = _per_source(
+        lambda t: backward_push_batch(graph, np.asarray(t),
+                                      r_max=R_MAX_BACKWARD,
+                                      kernel="numpy"),
+        sources[:16], one_at_a_time=False)
+
+    row = {"nodes": graph.num_nodes, "edges": graph.num_edges,
+           "scalar_seconds": round(t_scalar, 4),
+           "single_seconds": round(t_single, 4),
+           "batch_seconds": round(t_batch, 4),
+           "single_speedup": round(t_scalar / t_single, 1),
+           "batch_speedup": round(t_scalar / t_batch, 1),
+           "backward_scalar_seconds": round(t_bwd_scalar, 4),
+           "backward_batch_seconds": round(t_bwd_batch, 4),
+           "backward_speedup": round(t_bwd_scalar / t_bwd_batch, 1),
+           "parity_max_diff": float(diff.max()),
+           "parity_ok": parity_ok}
+    if HAS_NUMBA:    # pragma: no cover - optional-dependency CI leg
+        forward(sources[:1], "numba")        # jit warm-up outside timing
+        row["numba_single_seconds"] = round(_per_source(
+            lambda s: forward(s, "numba"), sources[:SINGLE_SOURCES],
+            one_at_a_time=True), 4)
+        row["numba_batch_seconds"] = round(_per_source(
+            lambda s: forward(s, "numba"), sources, one_at_a_time=False), 4)
+        row["numba_single_speedup"] = round(
+            t_scalar / row["numba_single_seconds"], 1)
+        row["numba_batch_speedup"] = round(
+            t_scalar / row["numba_batch_seconds"], 1)
+    return row
+
+
+def run_scaling(sizes=SIZES) -> list[dict]:
+    rows = [_measure(n) for n in sizes]
+    record = {"edge_factor": EDGE_FACTOR, "r_max": R_MAX,
+              "r_max_backward": R_MAX_BACKWARD, "batch": BATCH,
+              "alpha": 0.15, "numba": HAS_NUMBA, "rows": rows}
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n",
+                            encoding="utf-8")
+
+    title = (f"Local-PPR push kernels: seed scalar loop vs "
+             f"frontier/batched (r_max={R_MAX}, batch={BATCH})")
+    table = format_table(
+        ["nodes", "scalar (s/src)", "single (s/src)", "batch (s/src)",
+         "single x", "batch x", "backward x"],
+        [[f"{r['nodes']:,}", f"{r['scalar_seconds']:.3f}",
+          f"{r['single_seconds']:.4f}", f"{r['batch_seconds']:.4f}",
+          f"{r['single_speedup']:.1f}", f"{r['batch_speedup']:.1f}",
+          f"{r['backward_speedup']:.1f}"] for r in rows])
+    report("push_kernels", title + "\n" + table)
+    return rows
+
+
+def test_push_kernel_scaling():
+    sizes = tuple(max(2_000, int(n * bench_scale())) for n in SIZES)
+    rows = run_scaling(sizes)
+    for row in rows:
+        assert row["parity_ok"], row
+    largest = rows[-1]
+    if largest["nodes"] >= 100_000:
+        # acceptance criteria, NumPy path alone at >= 100k nodes
+        assert largest["single_speedup"] >= SINGLE_TARGET, largest
+        assert largest["batch_speedup"] >= BATCH_TARGET, largest
+
+
+if __name__ == "__main__":
+    for row in run_scaling():
+        print(json.dumps(row))

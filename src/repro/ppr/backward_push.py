@@ -8,22 +8,35 @@ Estimates the PPR column ``pi(., target)`` for all sources at once
 maintained by the reverse of the forward-push rule: when node ``v`` is
 pushed, each in-neighbor ``u`` receives ``(1 - alpha) r(v) / d_out(u)``.
 All entries obey ``pi(s, t) - p(s) <= r_max`` at termination.
+
+Termination-PPR consistency for dangling targets: a walk that reaches a
+node with no out-edges stops there with probability 1, not alpha, so
+``pi(., t)`` equals the arrival probability rather than alpha times the
+expected visit count. Seeding the residue with ``1/alpha`` folds that
+correction into the standard push rule (the alpha self-term of the
+first push then credits the full mass), matching what ``ppr_rows`` /
+``forward_push`` / ``monte_carlo`` compute.
+
+Since the kernel layer landed this is a thin single-target wrapper over
+:func:`repro.ppr.kernels.backward_push_batch` (which applies the same
+dangling-target seeding); the push loop backend is selected by the
+``kernel=`` argument / ``REPRO_KERNEL`` environment variable (see
+:mod:`repro.ppr.kernels`).
 """
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
-from ..errors import ParameterError
 from ..graph import Graph
+from .kernels import backward_push_batch
 
 __all__ = ["backward_push"]
 
 
 def backward_push(graph: Graph, target: int, alpha: float = 0.15, *,
                   r_max: float = 1e-4, max_pushes: int | None = None,
+                  kernel: str | None = None,
                   ) -> tuple[np.ndarray, np.ndarray]:
     """Approximate the column ``pi(., target)``.
 
@@ -31,43 +44,7 @@ def backward_push(graph: Graph, target: int, alpha: float = 0.15, *,
     ``estimate[s] <= pi(s, target) <= estimate[s] + r_max`` for every
     source ``s`` once no residue exceeds ``r_max``.
     """
-    if not 0.0 < alpha < 1.0:
-        raise ParameterError("alpha must be in (0, 1)")
-    if r_max <= 0:
-        raise ParameterError("r_max must be positive")
-    n = graph.num_nodes
-    transpose = graph.transpose()
-    out_deg = graph.out_degrees
-    estimate = np.zeros(n)
-    residue = np.zeros(n)
-    # Termination-PPR consistency for dangling targets: a walk that
-    # reaches a node with no out-edges stops there with probability 1,
-    # not alpha, so pi(., t) equals the arrival probability rather than
-    # alpha times the expected visit count. Seeding the residue with
-    # 1/alpha folds that correction into the standard push rule (the
-    # alpha self-term of the first push then credits the full mass),
-    # matching what ppr_rows / forward_push / monte_carlo compute.
-    residue[target] = 1.0 if out_deg[target] > 0 else 1.0 / alpha
-    queue: deque[int] = deque([target])
-    in_queue = np.zeros(n, dtype=bool)
-    in_queue[target] = True
-    budget = max_pushes if max_pushes is not None else 10_000_000
-    pushes = 0
-    while queue and pushes < budget:
-        v = queue.popleft()
-        in_queue[v] = False
-        r_v = residue[v]
-        if r_v <= r_max:
-            continue
-        pushes += 1
-        residue[v] = 0.0
-        estimate[v] += alpha * r_v
-        in_neighbors = transpose.out_neighbors(v)
-        if len(in_neighbors) == 0:
-            continue
-        residue[in_neighbors] += (1.0 - alpha) * r_v / out_deg[in_neighbors]
-        for u in in_neighbors[residue[in_neighbors] > r_max]:
-            if not in_queue[u]:
-                queue.append(int(u))
-                in_queue[u] = True
-    return estimate, residue
+    estimate, residue = backward_push_batch(
+        graph, np.asarray([target], dtype=np.int64), alpha, r_max=r_max,
+        max_pushes=max_pushes, kernel=kernel)
+    return estimate[0], residue[0]

@@ -26,7 +26,7 @@ __all__ = ["fora"]
 
 def fora(graph: Graph, source: int, alpha: float = 0.15, *,
          r_max: float = 1e-3, walks_per_unit: float = 64.0,
-         seed=None) -> np.ndarray:
+         seed=None, kernel: str | None = None) -> np.ndarray:
     """FORA estimate of ``pi(source, .)``.
 
     Parameters
@@ -37,11 +37,14 @@ def fora(graph: Graph, source: int, alpha: float = 0.15, *,
     walks_per_unit:
         Number of walks launched per unit of total leftover residue;
         the variance of the estimate scales as ``1 / walks_per_unit``.
+    kernel:
+        Push backend forwarded to :mod:`repro.ppr.kernels`.
     """
     if walks_per_unit <= 0:
         raise ParameterError("walks_per_unit must be positive")
     rng = ensure_rng(seed)
-    estimate, residue = forward_push(graph, source, alpha, r_max=r_max)
+    estimate, residue = forward_push(graph, source, alpha, r_max=r_max,
+                                     kernel=kernel)
     total_residue = float(residue.sum())
     if total_residue <= 0:
         return estimate

@@ -10,61 +10,35 @@ holds throughout, which gives the standard additive guarantee
 ``pi(s, v) - p(v) <= r_max * d_out(v)`` under the degree-scaled
 threshold used here (the scan stops once every residue satisfies
 ``r(v) <= r_max * d_out(v)``).
+
+Since the kernel layer landed this is a thin single-source wrapper over
+:func:`repro.ppr.kernels.forward_push_batch`; the actual push loop —
+frontier-synchronous NumPy by default, ``numba``-compiled when the
+optional dependency is installed, or the seed scalar loop — is selected
+by the ``kernel=`` argument / ``REPRO_KERNEL`` environment variable
+(see :mod:`repro.ppr.kernels`).
 """
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
-from ..errors import ParameterError
 from ..graph import Graph
+from .kernels import forward_push_batch
 
 __all__ = ["forward_push"]
 
 
 def forward_push(graph: Graph, source: int, alpha: float = 0.15, *,
                  r_max: float = 1e-6, max_pushes: int | None = None,
+                 kernel: str | None = None,
                  ) -> tuple[np.ndarray, np.ndarray]:
     """Approximate ``pi(source, .)`` by local pushes.
 
     Returns ``(estimate, residue)``; ``estimate[v] <= pi(source, v)`` and
     the left-over probability mass equals ``residue.sum()``.
     """
-    if not 0.0 < alpha < 1.0:
-        raise ParameterError("alpha must be in (0, 1)")
-    if r_max <= 0:
-        raise ParameterError("r_max must be positive")
-    n = graph.num_nodes
-    degrees = graph.out_degrees
-    estimate = np.zeros(n)
-    residue = np.zeros(n)
-    residue[source] = 1.0
-    queue: deque[int] = deque([source])
-    in_queue = np.zeros(n, dtype=bool)
-    in_queue[source] = True
-    budget = max_pushes if max_pushes is not None else 10_000_000
-    pushes = 0
-    while queue and pushes < budget:
-        v = queue.popleft()
-        in_queue[v] = False
-        r_v = residue[v]
-        deg = degrees[v]
-        if r_v <= r_max * max(deg, 1):
-            continue
-        pushes += 1
-        residue[v] = 0.0
-        estimate[v] += alpha * r_v
-        if deg == 0:
-            # dangling: the walk terminates here with the full residue
-            estimate[v] += (1.0 - alpha) * r_v
-            continue
-        share = (1.0 - alpha) * r_v / deg
-        neighbors = graph.out_neighbors(v)
-        residue[neighbors] += share
-        for u in neighbors[residue[neighbors] > r_max * np.maximum(degrees[neighbors], 1)]:
-            if not in_queue[u]:
-                queue.append(int(u))
-                in_queue[u] = True
-    return estimate, residue
+    estimate, residue = forward_push_batch(
+        graph, np.asarray([source], dtype=np.int64), alpha, r_max=r_max,
+        max_pushes=max_pushes, kernel=kernel)
+    return estimate[0], residue[0]

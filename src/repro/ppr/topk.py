@@ -39,7 +39,8 @@ def top_k_ppr_exact(graph: Graph, source: int, k: int,
 
 def top_k_ppr(graph: Graph, source: int, k: int, alpha: float = 0.15, *,
               r_max: float = 1e-3, refinements: int = 4,
-              seed=None) -> tuple[np.ndarray, np.ndarray]:
+              seed=None, kernel: str | None = None,
+              ) -> tuple[np.ndarray, np.ndarray]:
     """Approximate top-``k`` PPR via FORA with geometric refinement.
 
     Each round halves ``r_max`` (quadrupling effective accuracy) until
@@ -52,7 +53,8 @@ def top_k_ppr(graph: Graph, source: int, k: int, alpha: float = 0.15, *,
     k = min(k, graph.num_nodes - 1)
     estimate = None
     for _ in range(max(1, refinements)):
-        estimate = fora(graph, source, alpha, r_max=r_max, seed=rng)
+        estimate = fora(graph, source, alpha, r_max=r_max, seed=rng,
+                        kernel=kernel)
         ranked = estimate.copy()
         ranked[source] = -1.0
         top = np.sort(np.partition(-ranked, k)[:k + 1] * -1)[::-1]

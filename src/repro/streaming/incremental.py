@@ -44,6 +44,7 @@ from ..core.approx_ppr import ApproxPPRConfig, PPRFactorState, approx_ppr_state
 from ..errors import ParameterError, ReproError
 from ..graph import Graph
 from ..linalg import BlockSparseOperator
+from ..ppr.kernels import spread_frontier
 
 __all__ = ["IncrementalPPR", "changed_rows"]
 
@@ -234,16 +235,16 @@ class IncrementalPPR:
         # moves a row delta to rows u with an arc (u, v), scaled by
         # (1 - alpha) / d(u) — i.e. (1 - alpha) * P[:, frontier] @ delta.
         # Two evaluation strategies, picked per sweep: a narrow frontier
-        # slices the needed columns out of P^T-as-CSC (cost scales with
-        # the frontier's arcs only); a wide one scatters the deltas into
-        # a dense buffer and runs one full CSR product (no per-sweep
-        # matrix copies). The crossover ~5% of nodes is where slicing's
-        # copy overhead starts losing in practice.
+        # runs one sweep of the kernel layer's frontier spread
+        # (:func:`repro.ppr.kernels.spread_frontier` — CSR gathers over
+        # the frontier's in-arcs only, no sparse slicing, no O(n)
+        # buffers); a wide one scatters the deltas into a dense buffer
+        # and runs one full CSR product. The crossover ~5% of nodes is
+        # where per-arc gathering starts losing to the blocked product.
         p_op = p_new
         if cfg.chunked:
             p_op = BlockSparseOperator(p_new, chunk_size=cfg.chunk_size,
                                        workers=cfg.workers)
-        p_csc = None
         n = self.num_nodes
         buffer = None    # O(n k') scratch; only the wide path needs it
         active_idx, active_delta = touched, delta
@@ -262,19 +263,19 @@ class IncrementalPPR:
                     buffer[:] = 0.0
                 buffer[active_idx] = active_delta
                 spread = decay * np.asarray(p_op @ buffer)
+                # apply every nonzero contribution (free: already
+                # computed), but only rows above tol keep propagating
+                rows = np.flatnonzero(np.abs(spread).max(axis=1) > 0.0)
+                if len(rows) > 0.5 * n:
+                    self.x_iter += spread
+                else:
+                    self.x_iter[rows] += spread[rows]
+                active_idx, active_delta = rows, spread[rows]
             else:
-                if p_csc is None:
-                    p_csc = p_new.tocsc()
-                sub = p_csc[:, active_idx]
-                spread = decay * np.asarray(sub @ active_delta)
-            # apply every nonzero contribution (free: already computed),
-            # but only rows above tol keep propagating
-            rows = np.flatnonzero(np.abs(spread).max(axis=1) > 0.0)
-            if len(rows) > 0.5 * n:
-                self.x_iter += spread
-            else:
-                self.x_iter[rows] += spread[rows]
-            active_idx, active_delta = rows, spread[rows]
+                rows, contrib = spread_frontier(new_graph, active_idx,
+                                                active_delta, decay=decay)
+                self.x_iter[rows] += contrib
+                active_idx, active_delta = rows, contrib
         if len(active_idx):
             stats["max_residue"] = float(
                 np.abs(active_delta).max() * scale)

@@ -14,8 +14,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graph import erdos_renyi, from_edges
-from repro.ppr import (backward_push, fora, forward_push, monte_carlo_ppr,
-                       ppr_rows)
+from repro.ppr import (available_kernels, backward_push, fora, forward_push,
+                       monte_carlo_ppr, ppr_rows)
 
 
 @st.composite
@@ -40,29 +40,35 @@ def test_power_iteration_rows_are_distributions(graph_source, alpha):
     assert row.sum() == pytest.approx(1.0, abs=1e-9)
 
 
+@pytest.mark.parametrize("kernel", available_kernels())
 @given(random_graphs())
 @settings(max_examples=25, deadline=None)
-def test_forward_push_within_additive_bound(graph_source):
-    """``estimate <= pi`` elementwise and ``pi - estimate <= sum(residue)``."""
+def test_forward_push_within_additive_bound(kernel, graph_source):
+    """``estimate <= pi`` elementwise and ``pi - estimate <= sum(residue)``,
+    under every push kernel backend."""
     graph, source = graph_source
     alpha = 0.15
     exact = ppr_rows(graph, np.array([source]), alpha)[0]
-    estimate, residue = forward_push(graph, source, alpha, r_max=1e-5)
+    estimate, residue = forward_push(graph, source, alpha, r_max=1e-5,
+                                     kernel=kernel)
     assert np.all(estimate >= 0.0)
     assert np.all(residue >= -1e-15)
     assert np.all(estimate <= exact + 1e-10)
     assert np.max(exact - estimate) <= residue.sum() + 1e-10
 
 
+@pytest.mark.parametrize("kernel", available_kernels())
 @given(random_graphs())
 @settings(max_examples=20, deadline=None)
-def test_backward_push_within_additive_bound(graph_source):
-    """``0 <= pi(., t) - estimate <= r_max`` for every source."""
+def test_backward_push_within_additive_bound(kernel, graph_source):
+    """``0 <= pi(., t) - estimate <= r_max`` for every source,
+    under every push kernel backend."""
     graph, target = graph_source
     alpha = 0.15
     r_max = 1e-4
     exact_col = ppr_rows(graph, np.arange(graph.num_nodes), alpha)[:, target]
-    estimate, residue = backward_push(graph, target, alpha, r_max=r_max)
+    estimate, residue = backward_push(graph, target, alpha, r_max=r_max,
+                                      kernel=kernel)
     assert np.all(estimate >= 0.0)
     assert np.all(estimate <= exact_col + 1e-10)
     assert np.max(exact_col - estimate) <= r_max + 1e-10
@@ -145,12 +151,15 @@ def test_backward_push_consistent_on_dangling_column(dangling_graph):
     assert np.max(np.abs(exact_col - estimate)) <= 1e-6 + 1e-12
 
 
-def test_push_backends_agree_with_each_other(dangling_graph):
-    """forward push rows vs backward push columns: same matrix."""
+@pytest.mark.parametrize("kernel", available_kernels())
+def test_push_backends_agree_with_each_other(dangling_graph, kernel):
+    """forward push rows vs backward push columns: same matrix,
+    whichever kernel backend computes them."""
     g = dangling_graph
     n = g.num_nodes
-    fwd = np.array([forward_push(g, s, 0.15, r_max=1e-9)[0]
+    fwd = np.array([forward_push(g, s, 0.15, r_max=1e-9, kernel=kernel)[0]
                     for s in range(n)])
-    bwd = np.column_stack([backward_push(g, t, 0.15, r_max=1e-9)[0]
+    bwd = np.column_stack([backward_push(g, t, 0.15, r_max=1e-9,
+                                         kernel=kernel)[0]
                            for t in range(n)])
     np.testing.assert_allclose(fwd, bwd, atol=1e-6)
