@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..baselines import make_embedder
 from ..datasets import Dataset, load_dataset
 from ..embedder import Embedder
@@ -89,8 +90,16 @@ class FitResult:
 def fit_timed(embedder: Embedder, graph: Graph) -> FitResult:
     """Fit and report wall-clock seconds (paper Fig. 7/10/11 measure)."""
     start = time.perf_counter()
-    embedder.fit(graph)
-    return FitResult(embedder, time.perf_counter() - start)
+    with obs.trace("bench.fit", method=getattr(embedder, "name",
+                                               type(embedder).__name__)):
+        embedder.fit(graph)
+    seconds = time.perf_counter() - start
+    if obs.enabled():
+        obs.get_registry().histogram(
+            "bench_fit_seconds",
+            {"method": getattr(embedder, "name",
+                               type(embedder).__name__)}).observe(seconds)
+    return FitResult(embedder, seconds)
 
 
 def link_prediction_auc(method: str, dataset: Dataset, dim: int, *,

@@ -22,6 +22,7 @@ import json
 import sys
 import time
 
+from . import obs
 from .errors import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -71,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="store name (default: the method's name)")
     parser.add_argument("--bundle", default=None, metavar="PATH",
                         help="also save a compressed .npz bundle here")
+    obs.add_observability_flags(parser)
     return parser
 
 
@@ -122,11 +124,13 @@ def run_fit(args) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    obs.setup_observability(args)
     try:
         summary = run_fit(args)
     except (ReproError, OSError) as exc:
         print(f"repro-fit: error: {exc}", file=sys.stderr)
         return 2
+    obs.dump_metrics(args, extra={"summary": summary})
     print(json.dumps(summary))
     return 0
 

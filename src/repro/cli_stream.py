@@ -36,6 +36,7 @@ import json
 import sys
 import time
 
+from . import obs
 from .errors import ParameterError, ReproError
 
 __all__ = ["main", "build_parser", "parse_delta_line"]
@@ -109,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-batches", type=int, default=None,
                         help="stop after publishing this many update "
                              "batches (mostly for tests)")
+    obs.add_observability_flags(parser, interval=True)
     return parser
 
 
@@ -135,6 +137,27 @@ def parse_delta_line(line: str, lineno: int) -> tuple[int, int, int] | None:
 
 def _emit(record: dict) -> None:
     print(json.dumps(record), flush=True)
+
+
+class _MetricsDumper:
+    """Periodic Prometheus text dump to stderr (``--metrics-interval``).
+
+    The stream loop calls :meth:`tick` at its natural pause points
+    (after a batch, between polls); the dump fires when the interval
+    has elapsed, so a quiet stream does not spam stderr.
+    """
+
+    def __init__(self, interval: float | None) -> None:
+        self.interval = interval
+        self._last = time.perf_counter()
+
+    def tick(self, *, force: bool = False) -> None:
+        if self.interval is None:
+            return
+        now = time.perf_counter()
+        if force or now - self._last >= self.interval:
+            print(obs.to_prometheus_text(), file=sys.stderr, flush=True)
+            self._last = now
 
 
 def _flush_batch(updater, batch: list[tuple[int, int, int]],
@@ -199,6 +222,7 @@ def run_stream(args) -> int:
     _emit({"event": "publish", "version": store.version,
            "store": str(store.root)})
 
+    dumper = _MetricsDumper(getattr(args, "metrics_interval", None))
     batch: list[tuple[int, int, int]] = []
     batches_done = 0
     idle = 0.0
@@ -221,6 +245,7 @@ def run_stream(args) -> int:
                     _emit(_flush_batch(updater, batch, args))
                     batch = []
                     batches_done += 1
+                    dumper.tick()
                 continue
             # EOF — or, with --follow, a half-written trailing line the
             # producer has not finished: seek back and wait for the rest
@@ -243,11 +268,13 @@ def run_stream(args) -> int:
                 continue
             time.sleep(args.poll_interval)
             idle += args.poll_interval
+            dumper.tick()
         if batch and (args.max_batches is None
                       or batches_done < args.max_batches):
             # end of input: flush the final partial batch
             _emit(_flush_batch(updater, batch, args))
             batches_done += 1
+    dumper.tick(force=dumper.interval is not None)
     _emit({"event": "done", "batches": batches_done,
            "escalations": updater.num_escalations,
            "num_edges": updater.graph.num_edges})
@@ -256,11 +283,14 @@ def run_stream(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    obs.setup_observability(args)
     try:
-        return run_stream(args)
+        result = run_stream(args)
     except (ReproError, OSError) as exc:
         print(f"repro-stream: error: {exc}", file=sys.stderr)
         return 2
+    obs.dump_metrics(args)
+    return result
 
 
 if __name__ == "__main__":    # pragma: no cover - exercised via main()

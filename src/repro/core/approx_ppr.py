@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..errors import ParameterError
 from ..graph import Graph
 from ..linalg import BlockSparseOperator, bksvd, randomized_svd
@@ -174,7 +175,9 @@ def approx_ppr_state(graph: Graph, config: ApproxPPRConfig,
     config.validate()
     if config.k_prime > graph.num_nodes:
         raise ParameterError("k_prime cannot exceed the number of nodes")
-    u, sigma, v = _factorize_adjacency(graph, config)
+    with obs.trace("approx_ppr.svd", backend=config.svd,
+                   k_prime=config.k_prime):
+        u, sigma, v = _factorize_adjacency(graph, config)
     sqrt_sigma = np.sqrt(np.maximum(sigma, 0.0))
     d_inv = graph.out_degree_inverse()
     x1 = d_inv[:, None] * u * sqrt_sigma[None, :]
@@ -184,12 +187,14 @@ def approx_ppr_state(graph: Graph, config: ApproxPPRConfig,
     v_scaled = v * inv_sqrt[None, :]
 
     p = graph.transition_matrix()
-    if config.chunked:
-        x_iter = _chunked_power_iterations(p, x1, config)
-    else:
-        x_iter = x1.copy()
-        for _ in range(2, config.ell1 + 1):
-            x_iter = (1.0 - config.alpha) * (p @ x_iter) + x1
+    with obs.trace("approx_ppr.propagation", ell1=config.ell1,
+                   chunked=config.chunked):
+        if config.chunked:
+            x_iter = _chunked_power_iterations(p, x1, config)
+        else:
+            x_iter = x1.copy()
+            for _ in range(2, config.ell1 + 1):
+                x_iter = (1.0 - config.alpha) * (p @ x_iter) + x1
     return PPRFactorState(x1=x1, x_iter=x_iter, y=y, v_scaled=v_scaled)
 
 

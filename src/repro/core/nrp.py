@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..embedder import Embedder
 from ..errors import ParameterError, ReproError
 from ..graph import Graph
@@ -132,16 +133,19 @@ class NRP(Embedder):
             k_prime=cfg.dim // 2, alpha=cfg.alpha, ell1=cfg.ell1,
             eps=cfg.eps, svd=cfg.svd, seed=svd_rng,
             chunk_size=cfg.chunk_size, workers=cfg.workers)
-        if self.keep_factor_state:
-            # Streaming tier: retain the Algorithm-1 internals so
-            # IncrementalPPR can repair them without a second SVD.
-            state = approx_ppr_state(graph, approx_cfg)
-            self.factor_state_ = state
-            x = state.x_iter * (cfg.alpha * (1.0 - cfg.alpha))
-            y = state.y
-        else:
-            x, y = approx_ppr_embeddings(graph, approx_cfg)
-        self._fit_weights(graph, x, y, sweep_rng)
+        # nrp.fit is the root span; approx_ppr.svd / approx_ppr.propagation
+        # and nrp.reweighting nest inside it, giving per-phase timings
+        with obs.trace("nrp.fit", n=graph.num_nodes, dim=cfg.dim):
+            if self.keep_factor_state:
+                # Streaming tier: retain the Algorithm-1 internals so
+                # IncrementalPPR can repair them without a second SVD.
+                state = approx_ppr_state(graph, approx_cfg)
+                self.factor_state_ = state
+                x = state.x_iter * (cfg.alpha * (1.0 - cfg.alpha))
+                y = state.y
+            else:
+                x, y = approx_ppr_embeddings(graph, approx_cfg)
+            self._fit_weights(graph, x, y, sweep_rng)
         return self
 
     def _fit_weights(self, graph: Graph, x: np.ndarray, y: np.ndarray,
@@ -166,18 +170,21 @@ class NRP(Embedder):
         if self.track_objective:
             self.objective_history_.append(reweighting_objective(
                 x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam))
-        for _ in range(cfg.ell2):
-            w_bwd = update_backward_weights(
-                x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam,
-                mode=cfg.update_mode, exact_b1=cfg.exact_b1, seed=sweep_rng,
-                chunk_size=cfg.chunk_size, workers=cfg.workers)
-            w_fwd = update_forward_weights(
-                x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam,
-                mode=cfg.update_mode, exact_b1=cfg.exact_b1, seed=sweep_rng,
-                chunk_size=cfg.chunk_size, workers=cfg.workers)
-            if self.track_objective:
-                self.objective_history_.append(reweighting_objective(
-                    x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam))
+        with obs.trace("nrp.reweighting", epochs=cfg.ell2):
+            for _ in range(cfg.ell2):
+                w_bwd = update_backward_weights(
+                    x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam,
+                    mode=cfg.update_mode, exact_b1=cfg.exact_b1,
+                    seed=sweep_rng, chunk_size=cfg.chunk_size,
+                    workers=cfg.workers)
+                w_fwd = update_forward_weights(
+                    x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam,
+                    mode=cfg.update_mode, exact_b1=cfg.exact_b1,
+                    seed=sweep_rng, chunk_size=cfg.chunk_size,
+                    workers=cfg.workers)
+                if self.track_objective:
+                    self.objective_history_.append(reweighting_objective(
+                        x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam))
 
         self.base_forward_ = x
         self.base_backward_ = y
@@ -242,15 +249,18 @@ class NRP(Embedder):
         prev_fwd, prev_bwd = w_fwd.copy(), w_bwd.copy()
 
         sweep_rng = spawn_rngs(cfg.seed, 2)[1]
-        for _ in range(epochs):
-            w_bwd = update_backward_weights(
-                x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam,
-                mode=cfg.update_mode, exact_b1=cfg.exact_b1, seed=sweep_rng,
-                chunk_size=cfg.chunk_size, workers=cfg.workers)
-            w_fwd = update_forward_weights(
-                x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam,
-                mode=cfg.update_mode, exact_b1=cfg.exact_b1, seed=sweep_rng,
-                chunk_size=cfg.chunk_size, workers=cfg.workers)
+        with obs.trace("nrp.warm_refit", epochs=epochs):
+            for _ in range(epochs):
+                w_bwd = update_backward_weights(
+                    x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam,
+                    mode=cfg.update_mode, exact_b1=cfg.exact_b1,
+                    seed=sweep_rng, chunk_size=cfg.chunk_size,
+                    workers=cfg.workers)
+                w_fwd = update_forward_weights(
+                    x, y, w_fwd, w_bwd, d_out, d_in, cfg.lam,
+                    mode=cfg.update_mode, exact_b1=cfg.exact_b1,
+                    seed=sweep_rng, chunk_size=cfg.chunk_size,
+                    workers=cfg.workers)
         drift = float((np.abs(w_fwd - prev_fwd).sum()
                        + np.abs(w_bwd - prev_bwd).sum())
                       / max(prev_norm, 1e-300))

@@ -1,14 +1,24 @@
-"""Lightweight timing and progress helpers used by the bench harness."""
+"""Lightweight timing and logging helpers shared across the package.
+
+The richer observability surface (metrics, tracing, exporters) lives in
+:mod:`repro.obs`, which re-exports everything here so call sites need a
+single import. This module stays dependency-free and import-cheap: it
+is pulled in by the hot serving paths.
+"""
 
 from __future__ import annotations
 
 import logging
+import sys
 import time
 from contextlib import contextmanager
 
-__all__ = ["get_logger", "Timer", "timed"]
+__all__ = ["get_logger", "configure_logging", "Timer", "timed"]
 
 _LOGGER_NAME = "repro"
+
+#: Levels accepted by :func:`configure_logging` (lowercase names).
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
 
 
 def get_logger(name: str | None = None) -> logging.Logger:
@@ -18,8 +28,46 @@ def get_logger(name: str | None = None) -> logging.Logger:
     return logging.getLogger(_LOGGER_NAME)
 
 
+def configure_logging(level: str | int = "info", *, stream=None,
+                      fmt: str | None = None) -> logging.Logger:
+    """Configure the package logger once and return it.
+
+    The single helper every CLI threads its ``--log-level`` flag
+    through: sets the ``repro`` logger's level and attaches one stderr
+    :class:`~logging.StreamHandler` (idempotent — repeated calls adjust
+    the level without stacking handlers). ``level`` is a name from
+    :data:`LOG_LEVELS` (any case) or a :mod:`logging` integer.
+    """
+    if isinstance(level, str):
+        name = level.strip().lower()
+        if name not in LOG_LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r}; expected one of {LOG_LEVELS}")
+        resolved = getattr(logging, name.upper())
+    else:
+        resolved = int(level)
+    logger = get_logger()
+    handler = next((h for h in logger.handlers
+                    if getattr(h, "_repro_configured", False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_configured = True
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setFormatter(logging.Formatter(
+        fmt or "%(asctime)s %(name)s %(levelname)s %(message)s"))
+    logger.setLevel(resolved)
+    return logger
+
+
 class Timer:
     """Accumulating wall-clock timer.
+
+    Re-entrant: nesting ``with t:`` blocks (or re-using one timer from
+    code that may already hold it open) accumulates the *outermost*
+    span once instead of double-counting, and a stray ``__exit__``
+    without a matching ``__enter__`` is a no-op rather than a crash.
 
     >>> t = Timer()
     >>> with t:
@@ -31,21 +79,40 @@ class Timer:
     def __init__(self) -> None:
         self.elapsed = 0.0
         self._start: float | None = None
+        self._depth = 0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        if self._depth == 0:
+            self._start = time.perf_counter()
+        self._depth += 1
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._start is not None
-        self.elapsed += time.perf_counter() - self._start
-        self._start = None
+        if self._depth == 0:
+            return                      # unmatched exit: tolerate, not crash
+        self._depth -= 1
+        if self._depth == 0 and self._start is not None:
+            self.elapsed += time.perf_counter() - self._start
+            self._start = None
 
 
 @contextmanager
-def timed(label: str, logger: logging.Logger | None = None):
-    """Context manager logging the wall-clock duration of a block."""
+def timed(label: str, logger: logging.Logger | None = None,
+          level: int = logging.DEBUG):
+    """Context manager logging the wall-clock duration of a block.
+
+    The duration is logged even when the block raises (annotated as
+    ``failed``), so a crashing stage still leaves its timing in the log.
+    """
     log = logger or get_logger()
     start = time.perf_counter()
-    yield
-    log.debug("%s took %.3fs", label, time.perf_counter() - start)
+    failed = False
+    try:
+        yield
+    except BaseException:
+        failed = True
+        raise
+    finally:
+        suffix = " (failed)" if failed else ""
+        log.log(level, "%s took %.3fs%s", label,
+                time.perf_counter() - start, suffix)

@@ -1,0 +1,66 @@
+"""Shared ``--log-level`` / ``--metrics-json`` wiring for the CLIs.
+
+Every console script (``repro-fit``, ``repro-stream``, ``repro-serve``)
+exposes the same observability surface through three calls:
+
+* :func:`add_observability_flags` — attach the flag group to a parser;
+* :func:`setup_observability` — apply the parsed flags (configure the
+  package logger, enable metrics collection when a snapshot path was
+  requested);
+* :func:`dump_metrics` — write the JSON snapshot at exit (no-op when
+  ``--metrics-json`` was not given).
+
+Keeping the wiring here means a new CLI gets the whole surface with
+three lines and the flags stay spelled identically everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..logging_utils import LOG_LEVELS, configure_logging
+from .export import write_snapshot
+from .metrics import set_enabled
+
+__all__ = ["add_observability_flags", "setup_observability", "dump_metrics"]
+
+
+def add_observability_flags(parser: argparse.ArgumentParser,
+                            *, interval: bool = False) -> None:
+    """Attach the shared observability flag group to ``parser``.
+
+    ``interval=True`` adds ``--metrics-interval`` (a periodic Prometheus
+    text dump to stderr — only long-running loops want it).
+    """
+    group = parser.add_argument_group("observability")
+    group.add_argument("--log-level", default=None, choices=LOG_LEVELS,
+                       help="configure the 'repro' logger at this level")
+    group.add_argument("--metrics-json", default=None, metavar="PATH",
+                       help="enable metrics collection and write a JSON "
+                            "snapshot here on exit")
+    if interval:
+        group.add_argument("--metrics-interval", type=float, default=None,
+                           metavar="SECONDS",
+                           help="enable metrics collection and dump the "
+                                "registry in Prometheus text format to "
+                                "stderr every SECONDS seconds")
+
+
+def setup_observability(args: argparse.Namespace) -> bool:
+    """Apply parsed observability flags; True if collection was enabled."""
+    if getattr(args, "log_level", None):
+        configure_logging(args.log_level)
+    if (getattr(args, "metrics_json", None)
+            or getattr(args, "metrics_interval", None)):
+        set_enabled(True)
+        return True
+    return False
+
+
+def dump_metrics(args: argparse.Namespace, *,
+                 extra: dict | None = None) -> dict | None:
+    """Write the ``--metrics-json`` snapshot, if one was requested."""
+    path = getattr(args, "metrics_json", None)
+    if not path:
+        return None
+    return write_snapshot(path, extra=extra)

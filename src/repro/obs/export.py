@@ -1,0 +1,146 @@
+"""Exporters: Prometheus text exposition and JSON snapshots.
+
+Two consumers, two formats:
+
+* :func:`to_prometheus_text` — the text exposition format scrapers
+  (and humans) read: ``# TYPE`` headers, one ``name{labels} value``
+  line per series, histograms expanded into cumulative ``_bucket``
+  lines with ``le`` labels plus ``_sum``/``_count``;
+* :func:`snapshot` / :func:`write_snapshot` — one JSON document with
+  every counter/gauge value, histogram summaries (count, sum, min,
+  max, p50/p95/p99), and the most recent trace trees — the same
+  artifact convention the ``benchmarks/results/*.json`` files use, so
+  CI archives metrics next to throughput numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+
+__all__ = ["snapshot", "write_snapshot", "to_prometheus_text"]
+
+
+def _sane(value: float):
+    """JSON-safe number (NaN/inf become None; JSON has neither)."""
+    if value is None or not math.isfinite(value):
+        return None
+    return value
+
+
+def snapshot(registry: MetricsRegistry | None = None, *,
+             spans: bool = True) -> dict:
+    """One JSON-ready dict describing everything the registry holds."""
+    registry = registry or get_registry()
+    out: dict = {"generated_at": time.time(),
+                 "counters": [], "gauges": [], "histograms": []}
+    for metric in registry.series():
+        labels = dict(metric.labels)
+        if isinstance(metric, Counter):
+            out["counters"].append(
+                {"name": metric.name, "labels": labels,
+                 "value": _sane(metric.value)})
+        elif isinstance(metric, Gauge):
+            out["gauges"].append(
+                {"name": metric.name, "labels": labels,
+                 "value": _sane(metric.value)})
+        elif isinstance(metric, Histogram):
+            pct = metric.percentiles()
+            out["histograms"].append(
+                {"name": metric.name, "labels": labels,
+                 "count": metric.count, "sum": _sane(metric.sum),
+                 "p50": _sane(pct["p50"]), "p95": _sane(pct["p95"]),
+                 "p99": _sane(pct["p99"])})
+    if spans:
+        out["traces"] = [span.to_dict() for span in registry.spans()]
+    return out
+
+
+def write_snapshot(path: str | Path,
+                   registry: MetricsRegistry | None = None, *,
+                   extra: dict | None = None, spans: bool = True) -> dict:
+    """Write :func:`snapshot` (plus ``extra`` top-level keys) to ``path``.
+
+    Creates parent directories; returns the written dict.
+    """
+    record = snapshot(registry, spans=spans)
+    if extra:
+        record.update(extra)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return record
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    return "".join(c if (c.isalnum() or c in "_:") else "_" for c in name)
+
+
+def _prom_value(value: float) -> str:
+    if value is None or math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(
+            _prom_name(str(k)),
+            str(v).replace("\\", r"\\").replace('"', r"\"")
+                  .replace("\n", r"\n"))
+        for k, v in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+def to_prometheus_text(registry: MetricsRegistry | None = None) -> str:
+    """The registry in Prometheus text exposition format."""
+    registry = registry or get_registry()
+    by_name: dict[str, list] = {}
+    for metric in registry.series():
+        by_name.setdefault(metric.name, []).append(metric)
+    lines: list[str] = []
+    for name in sorted(by_name):
+        series = by_name[name]
+        kind = series[0].kind
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} {kind}")
+        for metric in series:
+            labels = dict(metric.labels)
+            if kind in ("counter", "gauge"):
+                lines.append(f"{prom}{_prom_labels(labels)} "
+                             f"{_prom_value(metric.value)}")
+                continue
+            counts = metric.counts()
+            cum = 0
+            for i, edge in enumerate(metric.edges):
+                cum += int(counts[i])
+                lines.append(
+                    f"{prom}_bucket"
+                    f"{_prom_labels(labels, {'le': _prom_value(edge)})} "
+                    f"{cum}")
+            cum += int(counts[-1])
+            lines.append(f"{prom}_bucket"
+                         f"{_prom_labels(labels, {'le': '+Inf'})} {cum}")
+            lines.append(f"{prom}_sum{_prom_labels(labels)} "
+                         f"{_prom_value(metric.sum)}")
+            lines.append(f"{prom}_count{_prom_labels(labels)} "
+                         f"{metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

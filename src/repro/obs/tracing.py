@@ -1,0 +1,146 @@
+"""Nested wall-clock trace trees: the ``Span`` / ``trace()`` API.
+
+A span measures one block of work; spans opened while another span is
+live on the same thread nest under it, so a fit instrumented as
+
+::
+
+    with obs.trace("nrp.fit", nodes=graph.num_nodes):
+        with obs.trace("approx_ppr.svd"):
+            ...
+        with obs.trace("nrp.reweighting"):
+            ...
+
+produces one root tree whose children carry per-phase durations — the
+per-partition / per-phase breakdown the distributed-PPR literature
+tunes from. Each *finished* span also feeds the metrics registry
+(``span_total`` counter, ``span_seconds`` histogram, keyed by span name
+plus the optional ``labels=``), so span *counts* and latency quantiles
+are queryable without walking trees; the trees themselves (most recent
+roots, bounded) ride along in JSON snapshots.
+
+``trace()`` checks :func:`repro.obs.enabled` first and returns a shared
+no-op context manager when collection is off — instrumenting a code
+path with a span costs one branch when disabled.
+
+Two name spaces on purpose: ``labels`` become metric labels (keep the
+cardinality bounded — shard ids, not node ids); ``**attrs`` only ride
+on the trace tree and may be anything JSON-serializable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import nullcontext
+
+from . import metrics
+
+__all__ = ["Span", "trace", "current_span"]
+
+_NULL = nullcontext()
+_STACK = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_STACK, "spans", None)
+    if stack is None:
+        stack = _STACK.spans = []
+    return stack
+
+
+class Span:
+    """One timed block; a context manager that nests per thread."""
+
+    __slots__ = ("name", "labels", "attributes", "children", "error",
+                 "started_at", "duration", "_t0")
+
+    def __init__(self, name: str, labels: dict | None = None,
+                 attributes: dict | None = None) -> None:
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.attributes = dict(attributes) if attributes else {}
+        self.children: list[Span] = []
+        self.error: str | None = None
+        self.started_at = 0.0
+        self.duration = 0.0
+        self._t0 = 0.0
+
+    # ------------------------------------------------------------------
+    def annotate(self, **attrs) -> "Span":
+        """Attach attributes to a live span; returns the span."""
+        self.attributes.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        _stack().append(self)
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        stack = _stack()
+        # unwind to (and including) this span even if inner spans
+        # leaked — an exception that skipped an inner __exit__ must not
+        # leave the stack attributing later work to a dead span
+        while stack:
+            top = stack.pop()
+            if top is self:
+                break
+        if stack:
+            stack[-1].children.append(self)
+        registry = metrics.get_registry()
+        if not stack:
+            registry.record_span(self)
+        series = {"name": self.name, **self.labels}
+        registry.counter("span_total", series).inc()
+        registry.histogram("span_seconds", series).observe(self.duration)
+        if self.error is not None:
+            registry.counter("span_errors_total", series).inc()
+        return False
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form of the subtree rooted here."""
+        record = {"name": self.name,
+                  "duration_seconds": round(self.duration, 9)}
+        if self.labels:
+            record["labels"] = dict(self.labels)
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        if self.error is not None:
+            record["error"] = self.error
+        if self.children:
+            record["children"] = [c.to_dict() for c in self.children]
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, "
+                f"children={len(self.children)})")
+
+
+def trace(name: str, labels: dict | None = None, **attrs):
+    """Open a span named ``name`` (no-op when metrics are disabled).
+
+    Usage::
+
+        with obs.trace("router.search", labels={"kind": "exact"},
+                       queries=len(batch)) as span:
+            ...
+            span.annotate(merged=len(ids))
+
+    ``span`` is ``None`` when collection is disabled, so only code
+    already inside an ``if obs.enabled():`` block should rely on it.
+    """
+    if not metrics.enabled():
+        return _NULL
+    return Span(name, labels=labels, attributes=attrs)
+
+
+def current_span() -> Span | None:
+    """The innermost live span on this thread, if any."""
+    stack = getattr(_STACK, "spans", None)
+    return stack[-1] if stack else None

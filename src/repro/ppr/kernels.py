@@ -68,6 +68,7 @@ from collections import deque
 import numpy as np
 import scipy.sparse as sp
 
+from .. import obs
 from ..errors import ParameterError
 from ..graph import Graph
 
@@ -334,6 +335,7 @@ def _push_numpy(n: int, b: int, sources: np.ndarray, seeds_vals: np.ndarray,
                 thresh, alpha: float, budget: int | None,
                 row_indptr: np.ndarray, row_indices: np.ndarray,
                 arc_weights, make_mat, degrees: np.ndarray | None,
+                direction: str = "forward",
                 ) -> tuple[np.ndarray, np.ndarray]:
     """Shared three-regime frontier loop for both push directions.
 
@@ -368,6 +370,10 @@ def _push_numpy(n: int, b: int, sources: np.ndarray, seeds_vals: np.ndarray,
     decay = 1.0 - alpha
     mat = None
     dense = False
+    # regime bookkeeping: plain int increments every iteration (cheap),
+    # flushed to the metrics registry once at exit when obs is enabled
+    it_narrow = it_middle = it_wide = 0
+    frontier_peak = 0
     r2 = e2 = None           # (n, b) node-major views of the wide regime
     while True:
         if not dense:
@@ -403,11 +409,14 @@ def _push_numpy(n: int, b: int, sources: np.ndarray, seeds_vals: np.ndarray,
                     slots, nodes, r = slots[act], nodes[act], r[act]
                     if len(nodes) == 0:
                         break
+            if len(nodes) > frontier_peak:
+                frontier_peak = len(nodes)
             counts = row_indptr[nodes + 1] - row_indptr[nodes]
             total_arcs = int(counts.sum())
             if total_arcs == 0:
                 break
             if total_arcs < spgemm_at:
+                it_narrow += 1
                 # narrow: explicit gather + np.add.at + sort-dedupe
                 targets, counts = _gather_rows(row_indptr, row_indices,
                                                nodes, counts)
@@ -421,6 +430,7 @@ def _push_numpy(n: int, b: int, sources: np.ndarray, seeds_vals: np.ndarray,
                     shares)
             else:
                 # middle: one sparse product scatters + finds frontier
+                it_middle += 1
                 if mat is None:
                     mat = make_mat()
                 f_indptr = np.zeros(b + 1, dtype=np.int64)
@@ -453,6 +463,9 @@ def _push_numpy(n: int, b: int, sources: np.ndarray, seeds_vals: np.ndarray,
                 frontier_nodes, frontier_slots = np.nonzero(mask)
                 keys = np.sort(frontier_slots * n + frontier_nodes)
                 continue
+            it_wide += 1
+            if count > frontier_peak:
+                frontier_peak = count
             pushed = np.where(mask, r2, 0.0)
             r2[mask] = 0.0
             if mat is None:
@@ -468,6 +481,19 @@ def _push_numpy(n: int, b: int, sources: np.ndarray, seeds_vals: np.ndarray,
     if dense:
         estimate = e2.T.copy().reshape(size)
         residue = r2.T.copy().reshape(size)
+    if obs.enabled():
+        registry = obs.get_registry()
+        for regime, iters in (("narrow", it_narrow), ("middle", it_middle),
+                              ("wide", it_wide)):
+            if iters:
+                registry.counter(
+                    "kernel_regime_iterations_total",
+                    {"regime": regime, "direction": direction}).inc(iters)
+        registry.histogram("kernel_iterations",
+                           {"direction": direction}).observe(
+            it_narrow + it_middle + it_wide)
+        registry.gauge("kernel_frontier_peak",
+                       {"direction": direction}).set(frontier_peak)
     return estimate.reshape(b, n), residue.reshape(b, n)
 
 
@@ -481,7 +507,7 @@ def _forward_numpy(graph: Graph, sources: np.ndarray, alpha: float,
         n, len(sources), sources, np.ones(len(sources)), thresh, alpha,
         budget, graph.indptr, graph.indices, None,
         graph.transition_matrix,      # M = P carries the 1/deg weights
-        degrees)
+        degrees, direction="forward")
 
 
 def _backward_numpy(graph: Graph, targets: np.ndarray, alpha: float,
@@ -502,7 +528,8 @@ def _backward_numpy(graph: Graph, targets: np.ndarray, alpha: float,
 
     return _push_numpy(
         n, len(targets), targets, seeds_vals, float(r_max), alpha, budget,
-        transpose.indptr, transpose.indices, inv_out, make_mat, None)
+        transpose.indptr, transpose.indices, inv_out, make_mat, None,
+        direction="backward")
 
 
 # ----------------------------------------------------------------------
@@ -660,6 +687,12 @@ def forward_push_batch(graph: Graph, sources, alpha: float = 0.15, *,
                               "source")
     b, n = len(sources), graph.num_nodes
     kern = resolve_kernel(kernel)
+    if obs.enabled():
+        registry = obs.get_registry()
+        registry.counter("kernel_invocations_total",
+                         {"kernel": kern, "direction": "forward"}).inc()
+        registry.histogram("kernel_batch_size",
+                           {"direction": "forward"}).observe(b)
     if b == 0 or n == 0:
         return np.zeros((b, n)), np.zeros((b, n))
     budget = None if max_pushes is None else int(max_pushes)
@@ -692,6 +725,12 @@ def backward_push_batch(graph: Graph, targets, alpha: float = 0.15, *,
                               "target")
     b, n = len(targets), graph.num_nodes
     kern = resolve_kernel(kernel)
+    if obs.enabled():
+        registry = obs.get_registry()
+        registry.counter("kernel_invocations_total",
+                         {"kernel": kern, "direction": "backward"}).inc()
+        registry.histogram("kernel_batch_size",
+                           {"direction": "backward"}).observe(b)
     if b == 0 or n == 0:
         return np.zeros((b, n)), np.zeros((b, n))
     budget = None if max_pushes is None else int(max_pushes)
@@ -734,6 +773,11 @@ def spread_frontier(graph: Graph, frontier, delta: np.ndarray, *,
                           or frontier.max() >= graph.num_nodes):
         raise ParameterError(
             f"frontier node out of range [0, {graph.num_nodes})")
+    if obs.enabled():
+        registry = obs.get_registry()
+        registry.counter("kernel_spread_frontier_total").inc()
+        registry.histogram("kernel_spread_frontier_rows").observe(
+            len(frontier))
     transpose = graph.transpose()
     in_nb, counts = _gather_rows(transpose.indptr, transpose.indices,
                                  frontier)

@@ -26,6 +26,7 @@ import json
 import os
 import sys
 
+from .. import obs
 from ..errors import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -35,6 +36,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
         description="Serve top-k queries from saved NRP-style embeddings.")
+    # shared flags live on the main parser: `repro-serve --metrics-json
+    # out.json query ...` works for every subcommand
+    obs.add_observability_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_export = sub.add_parser(
@@ -160,8 +164,11 @@ _COMMANDS = {"export": _cmd_export, "shard": _cmd_shard,
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    obs.setup_observability(args)
     try:
-        return _COMMANDS[args.command](args)
+        result = _COMMANDS[args.command](args)
+        obs.dump_metrics(args)
+        return result
     except BrokenPipeError:      # e.g. `repro-serve query ... | head`
         # swap stdout for devnull so the interpreter's exit flush
         # doesn't print a second traceback

@@ -19,11 +19,13 @@ heavily skewed, so even a tiny cache absorbs a large share of traffic).
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..embedder import has_custom_scoring
 from ..errors import ParameterError, ReproError
 from .index import TopKIndex, build_index
@@ -33,7 +35,14 @@ __all__ = ["QueryEngine", "CacheStats"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for the engine's top-k LRU cache."""
+    """Hit/miss counters for the engine's top-k LRU cache.
+
+    ``hit_rate`` is defined as 0.0 before any request has been seen
+    (not NaN / ZeroDivisionError — dashboards divide by these numbers).
+    The same counters feed the ``serving_cache_{hits,misses}_total``
+    metrics series when :mod:`repro.obs` collection is enabled, so the
+    in-process view and the exported view cannot drift apart.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -44,6 +53,12 @@ class CacheStats:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (what the CLIs and snapshots embed)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "capacity": self.capacity, "size": self.size,
+                "hit_rate": self.hit_rate}
 
 
 def _resolve_matrices(source) -> tuple[np.ndarray, np.ndarray]:
@@ -96,6 +111,9 @@ class QueryEngine:
         self._cache_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        # cached metric handles (rebuilt when the registry is cleared);
+        # saves the per-call name+label series lookups on the hot path
+        self._obs_series: tuple | None = None
 
     def _make_index(self, index, index_options: dict):
         """Build (or validate) the top-k backend for ``self._database``.
@@ -131,6 +149,37 @@ class QueryEngine:
         the exact backend the indices match
         ``argsort(-score_all_from(src))[:k]``.
         """
+        if not obs.enabled():
+            return self._topk(src_nodes, k)
+        latency, batch_size, hits, misses = self._metric_handles()
+        hits0, misses0 = self._hits, self._misses
+        start = time.perf_counter()
+        try:
+            return self._topk(src_nodes, k)
+        finally:
+            latency.observe(time.perf_counter() - start)
+            batch_size.observe(max(1, np.size(src_nodes)))
+            # deltas, not absolutes: concurrent topk calls each publish
+            # their own counter increments; clamp against a racing
+            # cache_clear() flooring the totals mid-flight
+            hits.inc(max(0, self._hits - hits0))
+            misses.inc(max(0, self._misses - misses0))
+
+    def _metric_handles(self) -> tuple:
+        """Hot-path metric handles, re-resolved after a registry clear."""
+        registry = obs.get_registry()
+        cached = self._obs_series
+        if cached is not None and cached[0] == registry.generation:
+            return cached[1]
+        labels = {"engine": self.name}
+        handles = (registry.histogram("serving_topk_seconds", labels),
+                   registry.histogram("serving_topk_batch_size", labels),
+                   registry.counter("serving_cache_hits_total", labels),
+                   registry.counter("serving_cache_misses_total", labels))
+        self._obs_series = (registry.generation, handles)
+        return handles
+
+    def _topk(self, src_nodes, k: int) -> tuple[np.ndarray, np.ndarray]:
         if k < 1:
             raise ParameterError("k must be >= 1")
         nodes = np.atleast_1d(np.asarray(src_nodes, dtype=np.int64))
@@ -181,6 +230,17 @@ class QueryEngine:
 
     def score(self, src, dst) -> np.ndarray:
         """Exact proximity score for aligned ``(src, dst)`` pairs."""
+        if not obs.enabled():
+            return self._score(src, dst)
+        start = time.perf_counter()
+        try:
+            return self._score(src, dst)
+        finally:
+            obs.get_registry().histogram(
+                "serving_score_seconds",
+                {"engine": self.name}).observe(time.perf_counter() - start)
+
+    def _score(self, src, dst) -> np.ndarray:
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
         for label, nodes in (("src", src), ("dst", dst)):
@@ -215,11 +275,24 @@ class QueryEngine:
                 self._cache.popitem(last=False)
 
     def cache_stats(self) -> CacheStats:
-        """Current LRU cache counters."""
+        """Current LRU cache counters.
+
+        With :mod:`repro.obs` enabled this also refreshes the
+        ``serving_cache_hit_rate`` / ``serving_cache_size`` gauges, so
+        a snapshot exported after a traffic run carries the cache's
+        effectiveness without a separate publishing step.
+        """
         with self._cache_lock:
-            return CacheStats(hits=self._hits, misses=self._misses,
-                              capacity=self._cache_capacity,
-                              size=len(self._cache))
+            stats = CacheStats(hits=self._hits, misses=self._misses,
+                               capacity=self._cache_capacity,
+                               size=len(self._cache))
+        if obs.enabled():
+            registry = obs.get_registry()
+            labels = {"engine": self.name}
+            registry.gauge("serving_cache_hit_rate", labels).set(
+                stats.hit_rate)
+            registry.gauge("serving_cache_size", labels).set(stats.size)
+        return stats
 
     def cache_clear(self) -> None:
         """Drop every cached result and reset the counters."""

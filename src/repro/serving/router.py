@@ -23,10 +23,12 @@ the scoring surface behave identically to the flat engine.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from .. import obs
 from ..errors import ParameterError
 from ..parallel import available_cpus
 from .engine import QueryEngine
@@ -55,7 +57,7 @@ class ShardRouter:
             raise ParameterError(
                 f"got {len(parts)} shard blocks for "
                 f"{len(self._bounds) - 1} ranges")
-        self._indexes = []          # (global row offset, per-shard index)
+        self._indexes = []    # (shard id, global row offset, shard index)
         for i, part in enumerate(parts):
             if part is None or part.shape[0] == 0:
                 continue
@@ -63,7 +65,7 @@ class ShardRouter:
                 raise ParameterError(
                     f"shard {i} block has {part.shape[0]} rows but owns "
                     f"[{self._bounds[i]}, {self._bounds[i + 1]})")
-            self._indexes.append((int(self._bounds[i]),
+            self._indexes.append((i, int(self._bounds[i]),
                                   build_index(part, kind, **index_options)))
         if not self._indexes:
             raise ParameterError("router needs at least one non-empty shard")
@@ -79,6 +81,8 @@ class ShardRouter:
             max_workers=self.workers,
             thread_name_prefix="shard-router")
             if self.workers > 1 else None)
+        # cached metric handles (rebuilt when the registry is cleared)
+        self._obs_series: tuple | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -96,7 +100,7 @@ class ShardRouter:
 
     @property
     def dim(self) -> int:
-        return self._indexes[0][1].dim
+        return self._indexes[0][2].dim
 
     # ------------------------------------------------------------------
     def search(self, queries: np.ndarray, k: int,
@@ -116,21 +120,55 @@ class ShardRouter:
         if k < 1:
             raise ParameterError("k must be >= 1")
 
-        def one(offset_index):
-            offset, index = offset_index
-            ids, scores = index.search(queries, k)
+        on = obs.enabled()
+        durations: list[float] = []     # list.append is atomic enough
+
+        def one(entry):
+            shard, offset, index = entry
+            if on:
+                # each worker thread opens its own root span: per-shard
+                # fan-out latency and span counts land in the registry
+                # (labels are bounded: one series per shard)
+                with obs.trace("router.shard",
+                               labels={"shard": str(shard)}) as span:
+                    ids, scores = index.search(queries, k)
+                durations.append(span.duration)
+            else:
+                ids, scores = index.search(queries, k)
             # shift shard-local ids to global ids; -1 sentinels stay -1
             return np.where(ids >= 0, ids + offset, ids), scores
 
         if self._pool is not None and len(queries):
             partials = list(self._pool.map(one, self._indexes))
         else:
-            partials = [one(pair) for pair in self._indexes]
+            partials = [one(entry) for entry in self._indexes]
+        if on:
+            merge_start = time.perf_counter()
         all_ids = np.hstack([p[0] for p in partials])
         all_scores = np.hstack([p[1] for p in partials])
         pos, best_scores = _topk_rows(all_scores, min(k, self.num_items))
         best_ids = np.take_along_axis(all_ids, pos, axis=1)
+        if on:
+            merge, fanout, straggler = self._metric_handles()
+            merge.observe(time.perf_counter() - merge_start)
+            fanout.inc(len(self._indexes))
+            if durations:
+                # straggler spread: how much the slowest shard lags the
+                # fastest this scatter — the load-balance health signal
+                straggler.set(max(durations) - min(durations))
         return best_ids, best_scores
+
+    def _metric_handles(self) -> tuple:
+        """Hot-path metric handles, re-resolved after a registry clear."""
+        registry = obs.get_registry()
+        cached = self._obs_series
+        if cached is not None and cached[0] == registry.generation:
+            return cached[1]
+        handles = (registry.histogram("router_merge_seconds"),
+                   registry.counter("router_fanout_total"),
+                   registry.gauge("router_straggler_seconds"))
+        self._obs_series = (registry.generation, handles)
+        return handles
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ShardRouter(shards={self.num_shards}, "

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..core.approx_ppr import ApproxPPRConfig
 from ..core.nrp import NRP
 from ..errors import ParameterError, ReproError
@@ -76,6 +77,19 @@ class StreamingConfig:
             raise ParameterError("drift_threshold must be positive or None")
         if self.max_staleness is not None and self.max_staleness <= 0:
             raise ParameterError("max_staleness must be positive or None")
+
+
+def _escalation_reason(reason: str | None) -> str:
+    """Bucket a free-text escalation reason into a bounded label set.
+
+    Metric labels must stay low-cardinality; the ``warm_refit`` reason
+    strings embed numbers, so they are classified, not used verbatim.
+    """
+    text = (reason or "").lower()
+    for label in ("staleness", "drift", "node"):
+        if label in text:
+            return "node_count" if label == "node" else label
+    return "other"
 
 
 class StreamingUpdater:
@@ -155,7 +169,8 @@ class StreamingUpdater:
             refresh = {"touched": int(len(touched)), "sweeps": 0,
                        "max_residue": 0.0}
             # basis too old to trust: full refit, no drift question asked
-            self.model.fit(new_graph)
+            with obs.trace("streaming.refit", reason="staleness"):
+                self.model.fit(new_graph)
             # drift is None, not NaN: batch records are emitted as JSON
             # lines and NaN is not valid JSON
             self.model.last_warm_refit_ = {
@@ -163,12 +178,15 @@ class StreamingUpdater:
                 "reason": f"basis staleness {staleness:.3f} > "
                           f"{self.config.max_staleness:.3f}"}
         else:
-            refresh = self.ppr.refresh(new_graph, touched, deltas=pending,
-                                       max_sweeps=self.config.max_sweeps)
+            with obs.trace("streaming.repair"):
+                refresh = self.ppr.refresh(new_graph, touched,
+                                           deltas=pending,
+                                           max_sweeps=self.config.max_sweeps)
             x, y = self.ppr.embeddings()
-            self.model.warm_refit(
-                new_graph, x=x, y=y, epochs=self.config.warm_epochs,
-                drift_threshold=self.config.drift_threshold)
+            with obs.trace("streaming.warm_refit"):
+                self.model.warm_refit(
+                    new_graph, x=x, y=y, epochs=self.config.warm_epochs,
+                    drift_threshold=self.config.drift_threshold)
         info = dict(self.model.last_warm_refit_ or {})
         if info.get("escalated"):
             # the full fit computed a fresh basis (keep_factor_state);
@@ -176,7 +194,7 @@ class StreamingUpdater:
             self.num_escalations += 1
             self.ppr.rebase(self.model.factor_state_, new_graph)
         self.num_batches += 1
-        return {"batch": self.num_batches,
+        record = {"batch": self.num_batches,
                 "arc_deltas": int(arc_deltas),
                 "touched": refresh["touched"],
                 "sweeps": refresh["sweeps"],
@@ -188,6 +206,27 @@ class StreamingUpdater:
                 "num_nodes": new_graph.num_nodes,
                 "num_edges": new_graph.num_edges,
                 "seconds": round(time.perf_counter() - start, 4)}
+        if obs.enabled():
+            self._record_batch_metrics(record)
+        return record
+
+    def _record_batch_metrics(self, record: dict) -> None:
+        """Publish one ``apply_batch`` stats record to the registry."""
+        registry = obs.get_registry()
+        registry.counter("streaming_batches_total").inc()
+        if record["escalated"]:
+            reason = _escalation_reason(record.get("reason"))
+            registry.counter("streaming_refits_total",
+                             {"reason": reason}).inc()
+        else:
+            registry.counter("streaming_repairs_total").inc()
+        if record.get("drift") is not None:
+            registry.gauge("streaming_drift").set(float(record["drift"]))
+        registry.gauge("streaming_staleness").set(record["staleness"])
+        registry.histogram("streaming_batch_seconds").observe(
+            record["seconds"])
+        registry.histogram("streaming_touched_nodes").observe(
+            record["touched"])
 
     # ------------------------------------------------------------------
     def publish(self, root, *, metadata: dict | None = None,
@@ -207,8 +246,16 @@ class StreamingUpdater:
                 "num_nodes": self.graph.num_nodes,
                 "num_edges": self.graph.num_edges}
         meta.update(metadata or {})
-        return publish_version(root, self.model, metadata=meta, keep=keep,
-                               shards=shards)
+        if not obs.enabled():
+            return publish_version(root, self.model, metadata=meta,
+                                   keep=keep, shards=shards)
+        start = time.perf_counter()
+        with obs.trace("streaming.publish"):
+            result = publish_version(root, self.model, metadata=meta,
+                                     keep=keep, shards=shards)
+        obs.get_registry().histogram("streaming_publish_seconds").observe(
+            time.perf_counter() - start)
+        return result
 
     def swap_into(self, registry, name: str, **engine_options):
         """Hot-swap ``registry[name]`` onto the current model's state.

@@ -111,3 +111,30 @@ def test_invalid_hyperparameters_are_reported(edge_list_file, tmp_path,
 def test_parser_defaults():
     args = build_parser().parse_args(["g.txt", "out"])
     assert args.dim == 128 and args.workers == 1 and args.chunk_size is None
+    assert args.metrics_json is None and args.log_level is None
+
+
+def test_fit_metrics_json_snapshot(edge_list_file, tmp_path, capsys):
+    from repro import obs
+    path, _ = edge_list_file
+    snap_path = tmp_path / "metrics" / "fit.json"
+    try:
+        rc = main([str(path), str(tmp_path / "store"), "--dim", "8",
+                   "--ell2", "1", "--seed", "3",
+                   "--metrics-json", str(snap_path),
+                   "--log-level", "warning"])
+    finally:
+        obs.set_enabled(False)
+        obs.reset()
+    assert rc == 0
+    capsys.readouterr()
+    snap = json.loads(snap_path.read_text())
+    # the fit pipeline leaves its span tree and span metrics behind
+    span_names = {c["labels"]["name"] for c in snap["counters"]
+                  if c["name"] == "span_total"}
+    assert {"nrp.fit", "approx_ppr.svd", "nrp.reweighting"} <= span_names
+    [tree] = snap["traces"]
+    assert tree["name"] == "nrp.fit"
+    assert {c["name"] for c in tree["children"]} >= {"nrp.reweighting"}
+    # the CLI folds its printed summary into the snapshot
+    assert snap["summary"]["dim"] == 8

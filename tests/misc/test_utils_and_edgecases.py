@@ -49,12 +49,47 @@ def test_timer_accumulates():
     assert timer.elapsed >= first
 
 
+def test_timer_reentrant_counts_outermost_once():
+    timer = Timer()
+    with timer:
+        with timer:                       # nested hold: no double-counting
+            sum(range(1000))
+        inner_done = timer.elapsed
+        assert inner_done == 0.0          # still open at the outer level
+    assert timer.elapsed > 0.0
+    outer_done = timer.elapsed
+    with timer:
+        pass
+    assert timer.elapsed >= outer_done
+
+
+def test_timer_unmatched_exit_is_noop():
+    timer = Timer()
+    timer.__exit__(None, None, None)      # never entered: tolerate
+    assert timer.elapsed == 0.0
+    with timer:
+        pass
+    done = timer.elapsed
+    timer.__exit__(None, None, None)      # stray extra exit after close
+    assert timer.elapsed == done
+
+
 def test_timed_context_logs(caplog):
     logger = get_logger("test")
     with caplog.at_level(logging.DEBUG, logger="repro.test"):
         with timed("unit-of-work", logger):
             pass
     assert any("unit-of-work" in r.message for r in caplog.records)
+
+
+def test_timed_logs_duration_on_exception(caplog):
+    logger = get_logger("test")
+    with caplog.at_level(logging.DEBUG, logger="repro.test"):
+        with pytest.raises(RuntimeError):
+            with timed("doomed-stage", logger):
+                raise RuntimeError("boom")
+    [record] = [r for r in caplog.records if "doomed-stage" in r.message]
+    assert "(failed)" in record.message
 
 
 def test_get_logger_hierarchy():

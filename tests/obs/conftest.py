@@ -1,0 +1,20 @@
+"""Obs-suite hygiene: every test leaves the global registry clean."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    """Force collection off and the registry empty around each test.
+
+    The enable flag and the registry are process-global by design, so a
+    test that enables collection (or crashes mid-capture) must not leak
+    series into its neighbors.
+    """
+    obs.set_enabled(False)
+    obs.reset()
+    yield
+    obs.set_enabled(False)
+    obs.reset()

@@ -1,0 +1,185 @@
+"""Unit tests for the repro.obs metrics primitives and exporters."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import ParameterError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+# ----------------------------------------------------------- counter/gauge
+def test_counter_accumulates_and_rejects_negative():
+    c = Counter("requests_total")
+    c.inc()
+    c.inc(4.5)
+    assert c.value == pytest.approx(5.5)
+    with pytest.raises(ParameterError):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge("depth")
+    g.set(10)
+    g.inc(2.5)
+    g.dec(0.5)
+    assert g.value == pytest.approx(12.0)
+
+
+# -------------------------------------------------------------- histogram
+def test_histogram_bucket_boundaries():
+    h = Histogram("lat", min_value=1.0, growth=2.0, num_buckets=4)
+    # edges: 1, 2, 4, 8, 16; slot 0 = underflow, slot 6 = overflow
+    assert h.bucket_index(0.5) == 0
+    assert h.bucket_index(1.0) == 0          # <= min_value underflows
+    assert h.bucket_index(1.5) == 1
+    assert h.bucket_index(2.0) == 1          # exact edge closes its bucket
+    assert h.bucket_index(2.0000001) == 2
+    assert h.bucket_index(16.0) == 4
+    assert h.bucket_index(100.0) == 5        # overflow slot
+    for v in (0.5, 1.5, 2.0, 3.0, 100.0):
+        h.observe(v)
+    counts = h.counts()
+    assert counts.sum() == h.count == 5
+    assert h.sum == pytest.approx(107.0)
+
+
+def test_histogram_quantiles_track_numpy():
+    rng = np.random.default_rng(3)
+    samples = rng.lognormal(mean=-5.0, sigma=1.2, size=5000)
+    h = Histogram("lat")
+    for v in samples:
+        h.observe(v)
+    for q in (0.5, 0.95, 0.99):
+        exact = float(np.quantile(samples, q))
+        estimate = h.quantile(q)
+        # estimate is exact to within one geometric bucket (~25% rel.)
+        assert abs(estimate - exact) / exact < 0.25
+    pct = h.percentiles()
+    assert pct["p50"] <= pct["p95"] <= pct["p99"]
+
+
+def test_histogram_quantile_edge_cases():
+    h = Histogram("lat")
+    assert np.isnan(h.quantile(0.5))
+    assert h.percentiles() == {"p50": None, "p95": None, "p99": None}
+    h.observe(0.125)
+    # a single observation: every quantile is that observation
+    assert h.quantile(0.0) == pytest.approx(0.125, rel=0.26)
+    assert h.quantile(1.0) == pytest.approx(0.125, rel=0.26)
+    with pytest.raises(ParameterError):
+        h.quantile(1.5)
+
+
+def test_histogram_clamps_to_observed_range():
+    h = Histogram("lat")
+    for _ in range(100):
+        h.observe(0.01)
+    assert h.quantile(0.5) == pytest.approx(0.01)
+    assert h.quantile(0.99) == pytest.approx(0.01)
+
+
+# ---------------------------------------------------------------- registry
+def test_registry_get_or_create_returns_same_object():
+    reg = MetricsRegistry()
+    a = reg.counter("hits", {"shard": 1})
+    b = reg.counter("hits", {"shard": "1"})     # labels stringify
+    assert a is b
+    other = reg.counter("hits", {"shard": 2})
+    assert other is not a
+    assert len(reg) == 2
+    assert reg.get("hits", {"shard": 1}) is a
+    assert reg.get("missing") is None
+
+
+def test_registry_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("thing")
+    with pytest.raises(ParameterError):
+        reg.gauge("thing")
+    with pytest.raises(ParameterError):
+        reg.histogram("thing", {"a": "b"})
+
+
+def test_registry_thread_hammer():
+    reg = MetricsRegistry()
+    threads, per_thread = 8, 500
+
+    def worker(tid):
+        for i in range(per_thread):
+            reg.counter("ops_total", {"t": tid % 2}).inc()
+            reg.histogram("op_seconds").observe(1e-4 * (i + 1))
+            reg.gauge("depth").set(i)
+
+    pool = [threading.Thread(target=worker, args=(t,)) for t in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    total = (reg.counter("ops_total", {"t": 0}).value
+             + reg.counter("ops_total", {"t": 1}).value)
+    assert total == threads * per_thread
+    hist = reg.histogram("op_seconds")
+    assert hist.count == threads * per_thread
+    assert hist.counts().sum() == hist.count
+
+
+def test_enable_guard_and_capture():
+    assert not obs.enabled()
+    with obs.capture() as reg:
+        assert obs.enabled()
+        assert reg is obs.get_registry()
+        reg.counter("seen").inc()
+    assert not obs.enabled()
+    # series survive capture exit for inspection
+    assert obs.get_registry().get("seen").value == 1
+    with obs.capture(clear_after=True):
+        pass
+    assert obs.get_registry().get("seen") is None
+
+
+# --------------------------------------------------------------- exporters
+def test_snapshot_is_json_ready():
+    with obs.capture() as reg:
+        reg.counter("c_total", {"k": "v"}).inc(3)
+        reg.gauge("g").set(2.5)
+        reg.histogram("h").observe(0.01)
+        snap = obs.snapshot(reg)
+    text = json.dumps(snap)        # must not raise (no NaN/inf leaks)
+    assert "c_total" in text
+    [c] = snap["counters"]
+    assert c == {"name": "c_total", "labels": {"k": "v"}, "value": 3}
+    [h] = snap["histograms"]
+    assert h["count"] == 1 and h["p50"] is not None
+
+
+def test_write_snapshot_creates_parents(tmp_path):
+    with obs.capture() as reg:
+        reg.counter("c").inc()
+        path = tmp_path / "deep" / "snap.json"
+        record = obs.write_snapshot(path, reg, extra={"run": "unit"})
+    on_disk = json.loads(path.read_text())
+    assert on_disk["run"] == "unit"
+    assert record["counters"] == on_disk["counters"]
+
+
+def test_prometheus_text_format():
+    with obs.capture() as reg:
+        reg.counter("req_total", {"code": "200"}).inc(7)
+        hist = reg.histogram("lat_seconds")
+        for v in (0.001, 0.002, 0.004):
+            hist.observe(v)
+        text = obs.to_prometheus_text(reg)
+    assert '# TYPE req_total counter' in text
+    assert 'req_total{code="200"} 7' in text
+    assert "# TYPE lat_seconds histogram" in text
+    # cumulative buckets end at the total count on the +Inf line
+    assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+    assert "lat_seconds_count 3" in text
+    # cumulative monotonicity across the bucket lines
+    cums = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()
+            if line.startswith("lat_seconds_bucket")]
+    assert cums == sorted(cums)

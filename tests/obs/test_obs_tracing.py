@@ -1,0 +1,93 @@
+"""Unit tests for Span / trace(): nesting, unwinding, disabled no-op."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import _NULL, Span
+
+
+def test_trace_disabled_is_shared_noop():
+    assert not obs.enabled()
+    cm = obs.trace("anything", labels={"a": "b"}, attr=1)
+    assert cm is _NULL
+    with cm as span:
+        assert span is None
+    assert obs.get_registry().spans() == []
+
+
+def test_span_nesting_builds_tree():
+    with obs.capture() as reg:
+        with obs.trace("root", labels={"tier": "fit"}) as root:
+            with obs.trace("child_a") as a:
+                with obs.trace("grandchild"):
+                    pass
+            with obs.trace("child_b", items=3) as b:
+                b.annotate(extra="yes")
+    [tree] = reg.spans()
+    assert tree is root
+    assert [c.name for c in tree.children] == ["child_a", "child_b"]
+    assert [g.name for g in a.children] == ["grandchild"]
+    assert tree.duration >= a.duration >= 0.0
+    assert b.attributes == {"items": 3, "extra": "yes"}
+    record = tree.to_dict()
+    assert record["labels"] == {"tier": "fit"}
+    assert len(record["children"]) == 2
+    # finished spans also feed the metric series
+    assert reg.counter("span_total", {"name": "child_a"}).value == 1
+    assert reg.histogram("span_seconds", {"name": "root",
+                                          "tier": "fit"}).count == 1
+
+
+def test_exception_marks_error_and_unwinds():
+    with obs.capture() as reg:
+        with pytest.raises(ValueError):
+            with obs.trace("outer"):
+                with obs.trace("inner"):
+                    raise ValueError("boom")
+        assert obs.current_span() is None
+    [tree] = reg.spans()
+    assert tree.name == "outer"
+    assert tree.error == "ValueError"
+    assert tree.children[0].error == "ValueError"
+    assert reg.counter("span_errors_total", {"name": "inner"}).value == 1
+
+
+def test_leaked_inner_span_does_not_corrupt_stack():
+    with obs.capture() as reg:
+        outer = obs.trace("outer")
+        outer.__enter__()
+        # simulate an inner span whose __exit__ never ran
+        Span("leaked").__enter__()
+        assert obs.current_span().name == "leaked"
+        outer.__exit__(None, None, None)
+        # the outer exit unwound past the leaked span
+        assert obs.current_span() is None
+    [tree] = reg.spans()
+    assert tree.name == "outer"
+
+
+def test_worker_thread_spans_are_roots():
+    with obs.capture() as reg:
+        with obs.trace("main_root"):
+            def job():
+                with obs.trace("worker", labels={"shard": "0"}):
+                    pass
+            t = threading.Thread(target=job)
+            t.start()
+            t.join()
+    names = sorted(s.name for s in reg.spans())
+    # the worker's span must not nest under the main thread's root
+    assert names == ["main_root", "worker"]
+    assert reg.counter("span_total", {"name": "worker",
+                                      "shard": "0"}).value == 1
+
+
+def test_registry_span_retention_bounded():
+    with obs.capture() as reg:
+        for i in range(200):
+            with obs.trace(f"s{i % 5}"):
+                pass
+        assert len(reg.spans()) == 64          # deque maxlen
+        assert reg.spans()[-1].name == "s4"

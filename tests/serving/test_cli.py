@@ -120,3 +120,26 @@ def test_ivf_flags_require_ivf_index(bundle_path, tmp_path, capsys):
 def test_missing_store_is_an_error(tmp_path, capsys):
     assert main(["info", str(tmp_path / "ghost")]) == 2
     assert "error" in capsys.readouterr().err
+
+
+def test_query_metrics_json_snapshot(bundle_path, tmp_path, capsys):
+    from repro import obs
+    path, _ = bundle_path
+    store_dir = tmp_path / "store"
+    assert main(["export", str(path), str(store_dir),
+                 "--shards", "2"]) == 0
+    snap_path = tmp_path / "query.json"
+    try:
+        # shared flags sit on the main parser, before the subcommand
+        rc = main(["--metrics-json", str(snap_path),
+                   "query", str(store_dir), "--nodes", "0,7", "-k", "5"])
+    finally:
+        obs.set_enabled(False)
+        obs.reset()
+    assert rc == 0
+    capsys.readouterr()
+    snap = json.loads(snap_path.read_text())
+    counters = {c["name"] for c in snap["counters"]}
+    assert "router_fanout_total" in counters
+    hists = {h["name"] for h in snap["histograms"]}
+    assert "serving_topk_seconds" in hists and "router_merge_seconds" in hists

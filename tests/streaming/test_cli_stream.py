@@ -173,3 +173,26 @@ def test_stream_double_insert_in_one_batch_rejected(stream_inputs, tmp_path,
                "--dim", "16", "--ell2", "2"])
     assert rc == 2
     assert "twice in a row" in capsys.readouterr().err
+
+
+def test_stream_metrics_json_and_interval(stream_inputs, tmp_path, capsys):
+    from repro import obs
+    _, base_path, delta_path, _ = stream_inputs
+    snap_path = tmp_path / "stream.json"
+    try:
+        rc = main([str(base_path), str(delta_path), str(tmp_path / "root"),
+                   "--dim", "16", "--ell2", "2", "--batch-size", "16",
+                   "--metrics-json", str(snap_path),
+                   "--metrics-interval", "0"])
+    finally:
+        obs.set_enabled(False)
+        obs.reset()
+    assert rc == 0
+    err = capsys.readouterr().err
+    # interval 0 -> a Prometheus text dump after every batch
+    assert "# TYPE streaming_batches_total counter" in err
+    snap = json.loads(snap_path.read_text())
+    counters = {c["name"]: c["value"] for c in snap["counters"]}
+    assert counters["streaming_batches_total"] == 2
+    hists = {h["name"] for h in snap["histograms"]}
+    assert "streaming_publish_seconds" in hists

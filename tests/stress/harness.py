@@ -74,7 +74,8 @@ class StormResult:
 
 def run_storm(work, *, threads: int = 4, iterations: int | None = None,
               duration: float | None = None,
-              stop: threading.Event | None = None) -> StormResult:
+              stop: threading.Event | None = None,
+              metrics_label: str | None = None) -> StormResult:
     """Hammer ``work`` from ``threads`` threads; collect, don't crash.
 
     ``work(thread_index, iteration, rng)`` is called in a loop from
@@ -86,6 +87,11 @@ def run_storm(work, *, threads: int = 4, iterations: int | None = None,
     ``numpy.random.Generator`` seeded by thread index, so storms are
     as reproducible as the interleaving allows.
 
+    ``metrics_label`` feeds per-op latencies into the
+    ``storm_op_seconds{storm=...}`` histogram when :mod:`repro.obs`
+    collection is enabled (no-op otherwise), so storm runs show up in
+    metrics snapshots next to the serving series they exercised.
+
     Threads start behind a barrier so the contention window opens for
     all of them at once; every exception is captured into the returned
     :class:`StormResult` rather than tearing down the storm.
@@ -94,6 +100,11 @@ def run_storm(work, *, threads: int = 4, iterations: int | None = None,
         raise ValueError("give iterations=, duration=, or stop=")
     if threads < 1:
         raise ValueError("threads must be >= 1")
+    from repro import obs
+    histogram = None
+    if metrics_label is not None and obs.enabled():
+        histogram = obs.get_registry().histogram(
+            "storm_op_seconds", {"storm": metrics_label})
     result = StormResult(ops=[0] * threads)
     start_line = threading.Barrier(threads + 1)
     deadline = None
@@ -110,7 +121,12 @@ def run_storm(work, *, threads: int = 4, iterations: int | None = None,
             if stop is not None and stop.is_set():
                 break
             try:
-                work(tid, i, rng)
+                if histogram is not None:
+                    op_start = time.perf_counter()
+                    work(tid, i, rng)
+                    histogram.observe(time.perf_counter() - op_start)
+                else:
+                    work(tid, i, rng)
             except BaseException as exc:   # noqa: BLE001 - harness collects
                 result.errors.append(exc)
                 break
