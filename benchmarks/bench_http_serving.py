@@ -1,0 +1,175 @@
+"""HTTP serving latency: dynamic micro-batching vs unbatched (PR-7).
+
+Boots the real asyncio HTTP server (:mod:`repro.serving.http`) over one
+embedding database (default 20k nodes x 64 dims) and storms it with
+keep-alive socket clients at several concurrency levels, twice per
+level:
+
+* **batched** — the production config (``max_batch=64``,
+  ``max_delay=2ms``): concurrent scalar top-k requests coalesce into
+  tall GEMMs;
+* **unbatched** — ``max_batch=1, max_delay=0``: every request pays for
+  its own skinny engine call, the sequential baseline.
+
+Per (mode, concurrency) it records p50/p99 request latency, requests/s,
+and the mean observed engine batch size from the
+``serving_topk_batch_size`` histogram. Everything lands in
+``benchmarks/results/http_serving.json`` for CI's slow job to archive
+next to the other serving artifacts; the acceptance assert — batched
+p99 <= unbatched p99 at concurrency >= 16, with mean batch size > 1 —
+fires at full benchmark scale.
+
+Runnable standalone (``python benchmarks/bench_http_serving.py``) or
+via pytest (marked ``slow``).
+"""
+
+import http.client
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "tests" / "stress"))
+from harness import LatencyRecorder, http_json, run_storm   # noqa: E402
+
+from repro import obs                                       # noqa: E402
+from repro.bench import bench_scale, format_table           # noqa: E402
+from repro.io import EmbeddingBundle                        # noqa: E402
+from repro.parallel import available_cpus                   # noqa: E402
+from repro.serving import (HTTPServingConfig,               # noqa: E402
+                           ServingHTTPServer, ServingRegistry)
+
+try:
+    from conftest import report
+except ImportError:      # standalone script mode
+    def report(name, block):
+        print(block)
+
+pytestmark = pytest.mark.slow
+
+NUM_NODES = 20_000
+DIM = 64
+K = 10
+STORM_SECONDS = 1.5
+CONCURRENCY_LEVELS = (4, 16, 32)
+SEED = 0
+RESULTS_PATH = Path(__file__).parent / "results" / "http_serving.json"
+
+CONFIGS = {
+    "batched": dict(max_batch=64, max_delay=0.002),
+    "unbatched": dict(max_batch=1, max_delay=0.0),
+}
+
+
+def _database(n: int) -> EmbeddingBundle:
+    rng = np.random.default_rng(SEED)
+    return EmbeddingBundle(
+        name="bench", directional=False,
+        embedding=rng.standard_normal((n, DIM)) / np.sqrt(DIM))
+
+
+def _measure(source, mode: str, concurrency: int) -> dict:
+    """One (config, concurrency) storm against a fresh server."""
+    obs.set_enabled(True)
+    obs.get_registry().clear()
+    registry = ServingRegistry()
+    registry.register("bench", source, cache_size=0)
+    config = HTTPServingConfig(max_queue=4096, **CONFIGS[mode])
+    server = ServingHTTPServer(registry, config=config).start(port=0)
+    latency = LatencyRecorder(concurrency)
+    conns: dict[int, http.client.HTTPConnection] = {}
+    n = source.embedding_.shape[0]
+
+    def work(tid, i, rng):
+        conn = conns.get(tid)
+        if conn is None:
+            conn = conns[tid] = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=30)
+        node = int(rng.integers(n))
+        with latency.record(tid):
+            status, body, _ = http_json(conn, "POST", "/v1/bench/topk",
+                                        {"node": node, "k": K})
+        assert status == 200, f"{status}: {body}"
+
+    try:
+        result = run_storm(work, threads=concurrency,
+                           duration=STORM_SECONDS)
+    finally:
+        for conn in conns.values():
+            conn.close()
+        server.stop(close_registry=True)
+    result.raise_errors()
+
+    batch_hist = obs.get_registry().get("serving_topk_batch_size",
+                                        {"engine": "bench"})
+    mean_batch = (batch_hist.sum / batch_hist.count
+                  if batch_hist is not None and batch_hist.count else 0.0)
+    return {"requests": result.total_ops,
+            "rps": round(result.total_ops / result.seconds, 1),
+            "p50_ms": round(latency.percentile(50) * 1e3, 3),
+            "p99_ms": round(latency.percentile(99) * 1e3, 3),
+            "mean_batch": round(mean_batch, 2)}
+
+
+def run_bench(scale: float | None = None) -> dict:
+    scale = bench_scale() if scale is None else scale
+    n = max(1000, int(NUM_NODES * scale))
+    source = _database(n)
+
+    rows = []
+    by_concurrency = {}
+    for concurrency in CONCURRENCY_LEVELS:
+        level = {mode: _measure(source, mode, concurrency)
+                 for mode in CONFIGS}
+        level["p99_speedup"] = round(
+            level["unbatched"]["p99_ms"]
+            / max(level["batched"]["p99_ms"], 1e-9), 2)
+        by_concurrency[str(concurrency)] = level
+        for mode in CONFIGS:
+            entry = level[mode]
+            rows.append([str(concurrency), mode, f"{entry['rps']:,.0f}",
+                         f"{entry['p50_ms']:.2f}",
+                         f"{entry['p99_ms']:.2f}",
+                         f"{entry['mean_batch']:.2f}"])
+
+    record = {"num_nodes": n, "dim": DIM, "k": K, "scale": scale,
+              "cpus": available_cpus(), "storm_seconds": STORM_SECONDS,
+              "by_concurrency": by_concurrency}
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n",
+                            encoding="utf-8")
+    obs.set_enabled(False)
+    obs.get_registry().clear()
+
+    title = (f"HTTP serving latency, micro-batched vs unbatched "
+             f"(n={n:,}, dim={DIM}, k={K}, {available_cpus()} CPUs)")
+    table = format_table(
+        ["clients", "mode", "req/s", "p50 ms", "p99 ms", "mean batch"],
+        rows)
+    report("http_serving", title + "\n" + table)
+    return record
+
+
+def test_http_batching_beats_sequential():
+    record = run_bench()
+    for concurrency, level in record["by_concurrency"].items():
+        assert level["batched"]["requests"] > 0
+        assert level["unbatched"]["requests"] > 0
+    if record["num_nodes"] >= 10_000:
+        for concurrency in (c for c in CONCURRENCY_LEVELS if c >= 16):
+            level = record["by_concurrency"][str(concurrency)]
+            # the acceptance criteria: coalescing happens, and it pays
+            assert level["batched"]["mean_batch"] > 1.0, (
+                f"no coalescing at {concurrency} clients: mean batch "
+                f"{level['batched']['mean_batch']}")
+            assert (level["batched"]["p99_ms"]
+                    <= level["unbatched"]["p99_ms"]), (
+                f"batched p99 {level['batched']['p99_ms']}ms worse than "
+                f"unbatched {level['unbatched']['p99_ms']}ms at "
+                f"{concurrency} clients")
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2))

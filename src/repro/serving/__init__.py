@@ -17,7 +17,11 @@ matrices on disk; this package is everything after that:
   and the :class:`ShardedQueryEngine` drop-in;
 * :mod:`~repro.serving.registry` — named multi-model registry with
   atomic hot swaps;
-* :mod:`~repro.serving.cli` — the ``repro-serve`` command.
+* :mod:`~repro.serving.http` — :class:`ServingHTTPServer`, the asyncio
+  HTTP tier with dynamic micro-batching, backpressure, and deadline
+  admission control;
+* :mod:`~repro.serving.cli` — the ``repro-serve`` command (including
+  ``repro-serve serve``, the network front of all of the above).
 
 Quickstart::
 
@@ -30,6 +34,7 @@ Quickstart::
 """
 
 from .engine import CacheStats, QueryEngine
+from .http import HTTPServingConfig, ServingHTTPServer
 from .index import (INDEX_KINDS, ExactIndex, IVFIndex, TopKIndex,
                     build_index)
 from .registry import DEFAULT_REGISTRY, ServingRegistry
@@ -46,4 +51,5 @@ __all__ = ["QueryEngine", "CacheStats", "TopKIndex", "ExactIndex",
            "publish_version", "open_current", "open_store", "list_versions",
            "ServingRegistry", "DEFAULT_REGISTRY", "ShardRouter",
            "ShardedQueryEngine", "make_engine", "ShardedEmbeddingStore",
-           "ShardedMatrix", "shard_store", "shard_boundaries"]
+           "ShardedMatrix", "shard_store", "shard_boundaries",
+           "ServingHTTPServer", "HTTPServingConfig"]

@@ -1,6 +1,6 @@
-"""``repro-serve``: build and query embedding stores from the shell.
+"""``repro-serve``: build, query, and serve embedding stores.
 
-Four subcommands cover the offline -> online hand-off:
+Five subcommands cover the offline -> online hand-off:
 
 * ``repro-serve export BUNDLE.npz STORE_DIR [--shards N]`` — convert a
   compressed bundle written by :func:`repro.io.save_embeddings` into an
@@ -13,7 +13,12 @@ Four subcommands cover the offline -> online hand-off:
 * ``repro-serve query STORE_DIR --nodes 3,17 -k 10`` — answer top-k
   queries against a store, optionally through the approximate backend
   (``--index ivf --nprobe 16``); sharded stores scatter-gather across
-  their shards (``--workers`` sizes the fan-out pool).
+  their shards (``--workers`` sizes the fan-out pool);
+* ``repro-serve serve STORE_DIR --port 8000`` — the long-lived network
+  tier: an asyncio HTTP server (:mod:`repro.serving.http`) over the
+  store, with dynamic micro-batching, backpressure, and — given a
+  *versioned* root plus ``--watch SECONDS`` — hot swaps onto every new
+  version a concurrent ``repro-stream`` publishes.
 
 Installed as a console script by ``setup.py``; also runnable as
 ``python -m repro.serving.cli``.
@@ -75,6 +80,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--workers", type=int, default=None,
                          help="sharded stores: scatter-gather threads "
                               "(default: one per shard, CPU-capped)")
+
+    p_serve = sub.add_parser(
+        "serve", help="serve top-k/score queries over HTTP with "
+                      "dynamic micro-batching")
+    p_serve.add_argument("store", help="store directory (flat or sharded) "
+                                       "or a versioned store root")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8000,
+                         help="bind port; 0 picks a free one "
+                              "(default 8000)")
+    p_serve.add_argument("--name", default=None,
+                         help="model name in the routes "
+                              "(default: the store's name)")
+    p_serve.add_argument("--index", default="exact",
+                         choices=("exact", "ivf"),
+                         help="retrieval backend (default exact)")
+    p_serve.add_argument("--num-lists", type=int, default=None,
+                         help="ivf: number of k-means partitions")
+    p_serve.add_argument("--nprobe", type=int, default=None,
+                         help="ivf: partitions probed per query")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="sharded stores: scatter-gather threads")
+    p_serve.add_argument("--cache-size", type=int, default=1024,
+                         help="per-engine (node, k) LRU entries "
+                              "(default 1024)")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="source nodes coalesced into one engine "
+                              "call (default 64)")
+    p_serve.add_argument("--max-delay", type=float, default=0.002,
+                         help="seconds the first request of a batch "
+                              "waits for company (default 0.002)")
+    p_serve.add_argument("--max-queue", type=int, default=1024,
+                         help="pending requests before 429s "
+                              "(default 1024)")
+    p_serve.add_argument("--deadline", type=float, default=2.0,
+                         help="default per-request deadline in seconds "
+                              "(default 2.0)")
+    p_serve.add_argument("--watch", type=float, default=None,
+                         metavar="SECONDS",
+                         help="versioned roots: poll CURRENT at this "
+                              "interval and hot-swap onto new versions")
+    p_serve.add_argument("--max-seconds", type=float, default=None,
+                         help="exit after this long (demos and tests; "
+                              "default: serve until interrupted)")
+    p_serve.add_argument("--ready-file", default=None, metavar="PATH",
+                         help="write a {host, port} JSON file once the "
+                              "socket is bound (for test orchestration)")
     return parser
 
 
@@ -158,8 +211,94 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _serve_engine_options(args, store) -> dict:
+    """Engine options for ``store``, validated against its layout."""
+    options = {"index": args.index, "cache_size": args.cache_size}
+    if args.num_lists is not None:
+        options["num_lists"] = args.num_lists
+    if args.nprobe is not None:
+        options["nprobe"] = args.nprobe
+    if args.index != "ivf" and ("num_lists" in options
+                                or "nprobe" in options):
+        raise ReproError("--num-lists/--nprobe require --index ivf "
+                         f"(got --index {args.index})")
+    if getattr(store, "num_shards", None) is not None:
+        if args.workers is not None:
+            options["workers"] = args.workers
+    elif args.workers is not None:
+        raise ReproError("--workers requires a sharded store")
+    return options
+
+
+def _cmd_serve(args) -> int:
+    import time
+    from pathlib import Path
+
+    from .http import HTTPServingConfig, ServingHTTPServer
+    from .registry import ServingRegistry
+    from .store import CURRENT_NAME, open_current, open_store
+
+    root = Path(args.store)
+    versioned = (root / CURRENT_NAME).is_file()
+    if args.watch is not None and not versioned:
+        raise ReproError(
+            f"--watch needs a versioned store root (no {CURRENT_NAME} "
+            f"in {root}); publish with repro-stream or publish_version")
+    if args.watch is not None and args.watch <= 0:
+        raise ReproError("--watch must be > 0 seconds")
+    store = open_current(root) if versioned else open_store(root)
+    name = args.name or store.name
+    registry = ServingRegistry()
+    registry.register(name, store, **_serve_engine_options(args, store))
+    config = HTTPServingConfig(
+        max_batch=args.max_batch, max_delay=args.max_delay,
+        max_queue=args.max_queue, default_deadline=args.deadline)
+    server = ServingHTTPServer(registry, config=config)
+    server.start(args.host, args.port)
+    info = {"event": "serving", "host": server.host, "port": server.port,
+            "model": name, "num_nodes": store.num_nodes,
+            "version": store.version}
+    print(json.dumps(info), flush=True)
+    if args.ready_file:
+        Path(args.ready_file).write_text(json.dumps(info),
+                                         encoding="utf-8")
+    version = store.version
+    started = time.monotonic()
+    next_poll = (time.monotonic() + args.watch
+                 if args.watch is not None else None)
+    try:
+        while True:
+            if (args.max_seconds is not None
+                    and time.monotonic() - started >= args.max_seconds):
+                break
+            time.sleep(0.05)
+            if next_poll is None or time.monotonic() < next_poll:
+                continue
+            next_poll = time.monotonic() + args.watch
+            try:
+                fresh = open_current(root)
+            except ReproError:
+                continue    # publish in flight; keep serving, retry later
+            if fresh.version == version:
+                continue
+            registry.swap(name, fresh,
+                          **_serve_engine_options(args, fresh))
+            version = fresh.version
+            print(json.dumps({"event": "swap", "model": name,
+                              "version": version,
+                              "num_nodes": fresh.num_nodes}), flush=True)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop(close_registry=True)
+    print(json.dumps({"event": "stopped", "model": name,
+                      "version": version}), flush=True)
+    return 0
+
+
 _COMMANDS = {"export": _cmd_export, "shard": _cmd_shard,
-             "info": _cmd_info, "query": _cmd_query}
+             "info": _cmd_info, "query": _cmd_query,
+             "serve": _cmd_serve}
 
 
 def main(argv: list[str] | None = None) -> int:

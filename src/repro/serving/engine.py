@@ -191,7 +191,9 @@ class QueryEngine:
                 f"src node out of range [0, {self.num_nodes})")
 
         if len(nodes) == 0:
-            empty = np.empty((0, min(k, self.num_nodes)))
+            # same column convention as the non-empty path: the index
+            # decides the width (min(k, num_items)), not the engine
+            empty = np.empty((0, min(k, self.index.num_items)))
             return empty.astype(np.int64), empty.astype(np.float64)
         if not self._cache_capacity:
             # cache disabled: skip the per-node bookkeeping entirely
@@ -229,7 +231,15 @@ class QueryEngine:
         return out_ids, out_scores
 
     def score(self, src, dst) -> np.ndarray:
-        """Exact proximity score for aligned ``(src, dst)`` pairs."""
+        """Exact proximity score for aligned ``(src, dst)`` pairs.
+
+        ``src`` and ``dst`` are equal-length sequences of node ids; a
+        scalar on either side broadcasts against the other (one source
+        scored against many destinations, or the reverse). Mismatched
+        lengths raise :class:`~repro.errors.ParameterError` — this is
+        the malformed-request shape the HTTP ``/score`` route turns
+        into a 400.
+        """
         if not obs.enabled():
             return self._score(src, dst)
         start = time.perf_counter()
@@ -243,6 +253,18 @@ class QueryEngine:
     def _score(self, src, dst) -> np.ndarray:
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
+        for label, nodes in (("src", src), ("dst", dst)):
+            if nodes.ndim > 1:
+                raise ParameterError(
+                    f"{label} must be a scalar node id or a 1-D sequence, "
+                    f"got a {nodes.ndim}-D array")
+        if src.ndim != dst.ndim:
+            # scalar-vs-array: score one fixed endpoint against many
+            src, dst = np.broadcast_arrays(src, dst)
+        elif src.shape != dst.shape:
+            raise ParameterError(
+                f"src and dst must be aligned pairs: got {src.size} src "
+                f"node(s) vs {dst.size} dst node(s)")
         for label, nodes in (("src", src), ("dst", dst)):
             if nodes.size and (nodes.min() < 0
                                or nodes.max() >= self.num_nodes):
@@ -299,6 +321,25 @@ class QueryEngine:
         with self._cache_lock:
             self._cache.clear()
             self._hits = self._misses = 0
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release resources held by the retrieval backend.
+
+        The flat engine holds nothing beyond numpy arrays, so this is a
+        no-op; the sharded engine shuts its router's thread pool down
+        here. :class:`~repro.serving.registry.ServingRegistry` calls it
+        on every engine it evicts (swap / unregister / close), so a
+        long-lived server churning hot swaps does not strand idle
+        threads. Closing is safe while queries are still in flight —
+        backends degrade to serial execution rather than failing.
+        """
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"QueryEngine(name={self.name!r}, n={self.num_nodes}, "

@@ -1,0 +1,715 @@
+"""Async HTTP serving tier with dynamic micro-batching.
+
+The network front of the serving stack: a stdlib-``asyncio`` HTTP/1.1
+service over a :class:`~repro.serving.registry.ServingRegistry`, so the
+batched top-k machinery the in-process tiers already prove out can
+serve real sockets. Routes:
+
+* ``GET  /v1/models`` — the registered models and their shapes;
+* ``POST /v1/{model}/topk`` — ``{"node": 3}`` or ``{"nodes": [...]}``
+  plus optional ``"k"`` and ``"timeout"`` (seconds);
+* ``POST /v1/{model}/score`` — aligned ``{"src": ..., "dst": ...}``
+  pairs (either side may be a scalar, broadcast against the other);
+* ``GET  /healthz`` — liveness plus the model list;
+* ``GET  /metrics`` — the :mod:`repro.obs` registry in Prometheus text
+  exposition format.
+
+The core is the **dynamic micro-batcher**: concurrent ``topk`` requests
+for the same ``(model, k)`` land on one :class:`asyncio.Queue`, and a
+collector task coalesces them — up to ``max_batch`` source nodes or
+``max_delay`` seconds, whichever first — into *one*
+:meth:`~repro.serving.engine.QueryEngine.topk` call on a worker thread.
+One coalesced call is one tall GEMM instead of many skinny ones, which
+is exactly the throughput lever the batched kernels and the sharded
+router already cash in; the batcher extends it across HTTP clients that
+never heard of each other.
+
+Production concerns are first-class:
+
+* **backpressure** — at most ``max_queue`` requests may be pending;
+  excess admissions get ``429`` with a ``Retry-After`` hint instead of
+  unbounded queueing;
+* **deadline admission control** — every request carries a deadline
+  (client ``"timeout"`` or ``default_deadline``); requests whose
+  deadline passed while queued are shed with ``504`` *before* wasting
+  a BLAS call on them;
+* **hot-swap safety** — the engine is resolved from the registry per
+  *batch*, at dispatch time: a ``repro-stream`` publish that swaps the
+  model mid-flight never tears a batch (in-flight batches finish on
+  the old engine, whose retrieval backend degrades gracefully while
+  closing);
+* **graceful shutdown** — new admissions get ``503``, queued batches
+  drain, then the loop exits.
+
+``repro-serve serve`` (:mod:`repro.serving.cli`) wraps this in a
+console command; ``examples/http_serving.py`` is the end-to-end tour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+from ..errors import ParameterError, ReproError
+from ..parallel import available_cpus
+from .registry import ServingRegistry
+
+__all__ = ["HTTPServingConfig", "ServingHTTPServer"]
+
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests", 431: "Request Header Fields Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
+
+
+@dataclass(frozen=True)
+class HTTPServingConfig:
+    """Knobs of the HTTP tier (validated once, immutable afterwards).
+
+    ``max_batch`` caps the *source nodes* coalesced into one engine
+    call; ``max_delay`` bounds how long the first request of a batch
+    waits for company (the latency the batcher may add); ``max_queue``
+    bounds pending requests before admissions turn into 429s;
+    ``default_deadline`` is the per-request deadline when the client
+    does not send ``"timeout"``; ``retry_after`` is the hint attached
+    to 429 responses; ``max_body`` bounds request bodies; ``workers``
+    sizes the thread pool engine calls run on (None: CPU-capped).
+    """
+
+    max_batch: int = 64
+    max_delay: float = 0.002
+    max_queue: int = 1024
+    default_deadline: float = 2.0
+    retry_after: float = 0.05
+    max_body: int = 1 << 20
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ParameterError("max_batch must be >= 1")
+        if self.max_delay < 0:
+            raise ParameterError("max_delay must be >= 0")
+        if self.max_queue < 1:
+            raise ParameterError("max_queue must be >= 1")
+        if self.default_deadline <= 0:
+            raise ParameterError("default_deadline must be > 0")
+        if self.retry_after < 0:
+            raise ParameterError("retry_after must be >= 0")
+        if self.max_body < 1:
+            raise ParameterError("max_body must be >= 1")
+        if self.workers is not None and (int(self.workers) != self.workers
+                                         or self.workers < 1):
+            raise ParameterError(
+                f"workers must be a positive integer or None, "
+                f"got {self.workers!r}")
+
+
+class _HTTPError(Exception):
+    """A handler outcome that maps straight onto an HTTP error reply."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+class _Deadline(Exception):
+    """A queued request's deadline passed before its batch dispatched."""
+
+
+class _TopkRequest:
+    """One admitted top-k request waiting in a batcher queue."""
+
+    __slots__ = ("nodes", "future", "deadline")
+
+    def __init__(self, nodes: np.ndarray, future: asyncio.Future,
+                 deadline: float) -> None:
+        self.nodes = nodes
+        self.future = future
+        self.deadline = deadline
+
+
+class _Batcher:
+    """Coalesce concurrent top-k requests for one ``(model, k)`` pair.
+
+    A single collector task owns the queue: it blocks for the first
+    request, then keeps draining — waiting out at most ``max_delay``
+    seconds — until ``max_batch`` source nodes are on board, and hands
+    the batch to the server for one engine call. Requests for different
+    ``(model, k)`` pairs never share a BLAS call (a batched ``topk``
+    has one ``k``), so each pair gets its own batcher, created lazily.
+    """
+
+    def __init__(self, server: "ServingHTTPServer", model: str,
+                 k: int) -> None:
+        self.server = server
+        self.model = model
+        self.k = k
+        self.queue: asyncio.Queue[_TopkRequest] = asyncio.Queue()
+        self.busy = False
+        self.task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"batcher-{model}-k{k}")
+
+    async def _run(self) -> None:
+        config = self.server.config
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self.queue.get()
+            batch = [first]
+            total = len(first.nodes)
+            flush_at = loop.time() + config.max_delay
+            while total < config.max_batch:
+                try:
+                    item = self.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    remaining = flush_at - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(self.queue.get(),
+                                                      remaining)
+                    except asyncio.TimeoutError:
+                        break
+                batch.append(item)
+                total += len(item.nodes)
+            self.busy = True
+            try:
+                await self.server._dispatch(self.model, self.k, batch)
+            finally:
+                self.busy = False
+
+
+class ServingHTTPServer:
+    """Asyncio HTTP front over a :class:`ServingRegistry`.
+
+    Use either the async entry point (``await server.serve(...)``
+    inside an event loop you own) or the threaded lifecycle the CLI,
+    tests, and benchmarks use::
+
+        server = ServingHTTPServer(registry).start(port=0)
+        ...
+        server.stop()
+
+    ``start`` binds the socket before returning, so ``server.port`` is
+    immediately queryable. ``metrics=True`` (the default) enables
+    :mod:`repro.obs` collection so ``/metrics`` has something to say.
+    """
+
+    def __init__(self, registry: ServingRegistry, *,
+                 config: HTTPServingConfig | None = None,
+                 metrics: bool = True) -> None:
+        self.registry = registry
+        self.config = config or HTTPServingConfig()
+        self.host: str | None = None
+        self.port: int | None = None
+        workers = self.config.workers or min(4, available_cpus())
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="http-serve")
+        self._batchers: dict[tuple[str, int], _Batcher] = {}
+        self._conns: dict[asyncio.Task, asyncio.StreamWriter] = {}
+        self._pending = 0
+        self._closing = False
+        self._metrics = metrics
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._startup_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, host: str = "127.0.0.1",
+              port: int = 0) -> "ServingHTTPServer":
+        """Run the server on a background thread; returns once bound."""
+        if self._thread is not None:
+            raise ReproError("server already started")
+        if self._metrics:
+            obs.set_enabled(True)
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self.serve(host, port, _ready=ready)),
+            name="http-serve-loop", daemon=True)
+        self._thread.start()
+        ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise ReproError(
+                f"server failed to bind {host}:{port}: "
+                f"{self._startup_error}") from self._startup_error
+        if self.port is None:
+            raise ReproError("server failed to start within 30s")
+        return self
+
+    def stop(self, *, close_registry: bool = False) -> None:
+        """Gracefully stop: drain queued batches, then shut down.
+
+        ``close_registry=True`` additionally closes every engine in the
+        registry — what the CLI does, since it owns its registry; an
+        embedding application sharing a registry keeps it open.
+        """
+        loop, self._loop = self._loop, None
+        if loop is not None and self._stop_event is not None:
+            event = self._stop_event
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:     # loop already gone
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+        self._executor.shutdown(wait=False)
+        if close_registry:
+            self.registry.close()
+
+    def __enter__(self) -> "ServingHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    async def serve(self, host: str = "127.0.0.1", port: int = 0, *,
+                    _ready: threading.Event | None = None) -> None:
+        """Async entry point: bind, serve until :meth:`stop` (or cancel)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, host, port,
+                limit=self.config.max_body + (1 << 16))
+        except OSError as exc:
+            self._startup_error = exc
+            if _ready is not None:
+                _ready.set()
+            return
+        sockname = server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        if _ready is not None:
+            _ready.set()
+        try:
+            async with server:
+                await self._stop_event.wait()
+                self._closing = True
+                server.close()
+                await server.wait_closed()
+                await self._drain()
+        finally:
+            self._closing = True
+            for batcher in self._batchers.values():
+                batcher.task.cancel()
+            # Close idle keep-alive connections so their handler tasks
+            # exit on EOF before the loop tears down — cancellation
+            # would be noisy (3.11's streams wrapper logs it) and rude.
+            conns = dict(self._conns)
+            for conn_writer in conns.values():
+                conn_writer.close()
+            if conns:
+                await asyncio.wait(set(conns), timeout=5.0)
+
+    async def _drain(self, timeout: float = 5.0) -> None:
+        """Let queued batches finish before the loop exits."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            if not any(b.busy or not b.queue.empty()
+                       for b in self._batchers.values()):
+                return
+            await asyncio.sleep(0.01)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conns[task] = writer
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass                       # client went away mid-exchange
+        finally:
+            if task is not None:
+                self._conns.pop(task, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_one(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> bool:
+        """Serve one request; returns whether to keep the connection."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if exc.partial:
+                raise
+            return False               # clean EOF between requests
+        except asyncio.LimitOverrunError:
+            await self._write(writer, 431,
+                              self._error_body("request headers too large"),
+                              keep_alive=False)
+            return False
+        try:
+            method, path, headers, keep_alive = _parse_head(head)
+        except ValueError as exc:
+            await self._write(writer, 400, self._error_body(str(exc)),
+                              keep_alive=False)
+            return False
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > self.config.max_body:
+            await self._write(writer, 413,
+                              self._error_body(
+                                  f"request body must be 0..."
+                                  f"{self.config.max_body} bytes"),
+                              keep_alive=False)
+            return False
+        body = await reader.readexactly(length) if length else b""
+
+        start = time.perf_counter()
+        route = _route_label(method, path)
+        try:
+            status, payload, content_type, extra = await self._route(
+                method, path, body)
+        except _HTTPError as exc:
+            status, content_type = exc.status, "application/json"
+            payload, extra = self._error_body(str(exc)), exc.headers
+        except Exception as exc:   # noqa: BLE001 - last-resort 500
+            status, content_type = 500, "application/json"
+            payload, extra = self._error_body(
+                f"internal error: {type(exc).__name__}: {exc}"), {}
+        if self._metrics and obs.enabled():
+            registry = obs.get_registry()
+            registry.histogram(
+                "http_request_seconds", {"route": route}).observe(
+                    time.perf_counter() - start)
+            registry.counter(
+                "http_requests_total",
+                {"route": route, "status": str(status)}).inc()
+        await self._write(writer, status, payload,
+                          content_type=content_type, extra=extra,
+                          keep_alive=keep_alive)
+        return keep_alive
+
+    @staticmethod
+    def _error_body(message: str) -> bytes:
+        return json.dumps({"error": message}).encode("utf-8")
+
+    async def _write(self, writer: asyncio.StreamWriter, status: int,
+                     payload: bytes, *,
+                     content_type: str = "application/json",
+                     extra: dict | None = None,
+                     keep_alive: bool = True) -> None:
+        reason = _REASONS.get(status, "Error")
+        head = [f"HTTP/1.1 {status} {reason}",
+                f"content-type: {content_type}",
+                f"content-length: {len(payload)}",
+                f"connection: {'keep-alive' if keep_alive else 'close'}"]
+        for key, value in (extra or {}).items():
+            head.append(f"{key}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                     + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, path: str, body: bytes,
+                     ) -> tuple[int, bytes, str, dict]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            _require(method, "GET")
+            return self._json(200, {"status": "ok",
+                                    "models": self.registry.names()})
+        if path == "/metrics":
+            _require(method, "GET")
+            return (200, obs.to_prometheus_text().encode("utf-8"),
+                    "text/plain; version=0.0.4", {})
+        if path == "/v1/models":
+            _require(method, "GET")
+            return self._json(200, {"models": [
+                self._model_info(name) for name in self.registry.names()]})
+        parts = [p for p in path.split("/") if p]
+        if len(parts) == 3 and parts[0] == "v1":
+            _, model, verb = parts
+            if verb == "topk":
+                _require(method, "POST")
+                return await self._handle_topk(model, _parse_json(body))
+            if verb == "score":
+                _require(method, "POST")
+                return await self._handle_score(model, _parse_json(body))
+        raise _HTTPError(404, f"no route for {method} {path}")
+
+    def _model_info(self, name: str) -> dict:
+        engine = self.registry.get(name)
+        return {"name": name, "num_nodes": engine.num_nodes,
+                "index": engine.index.kind,
+                "directional": engine.directional,
+                "engine": type(engine).__name__}
+
+    def _get_engine(self, model: str):
+        try:
+            return self.registry.get(model)
+        except ReproError as exc:
+            raise _HTTPError(404, str(exc)) from None
+
+    # ------------------------------------------------------------------
+    # /v1/{model}/topk — the micro-batched path
+    # ------------------------------------------------------------------
+    async def _handle_topk(self, model: str, payload: dict,
+                           ) -> tuple[int, bytes, str, dict]:
+        scalar = "node" in payload
+        if scalar == ("nodes" in payload):
+            raise _HTTPError(400, 'body must have exactly one of '
+                                  '"node" (scalar) or "nodes" (list)')
+        raw = payload["node"] if scalar else payload["nodes"]
+        k = _as_int(payload.get("k", 10), "k", minimum=1)
+        timeout = _as_timeout(payload.get("timeout"),
+                              self.config.default_deadline)
+        try:
+            nodes = np.atleast_1d(np.asarray(raw, dtype=np.int64))
+        except (TypeError, ValueError):
+            raise _HTTPError(400, '"node"/"nodes" must be integer node '
+                                  'ids') from None
+        if nodes.ndim != 1:
+            raise _HTTPError(400, '"nodes" must be a flat list of node ids')
+        # Validate per request, pre-admission: a bad node id must 400
+        # its own request, not poison the whole coalesced batch.
+        engine = self._get_engine(model)
+        if len(nodes) and (nodes.min() < 0
+                           or nodes.max() >= engine.num_nodes):
+            raise _HTTPError(400, f"node ids must be in "
+                                  f"[0, {engine.num_nodes})")
+        if len(nodes) == 0:
+            return self._json(200, {"model": model, "k": k, "results": []})
+
+        ids, scores = await self._enqueue_topk(model, k, nodes, timeout)
+        results = [
+            {"node": int(node),
+             "neighbors": [int(v) for v in row_ids if v >= 0],
+             "scores": [float(s) for v, s in zip(row_ids, row_scores)
+                        if v >= 0]}
+            for node, row_ids, row_scores in zip(nodes, ids, scores)]
+        if scalar:
+            body = {"model": model, "k": k, **results[0]}
+        else:
+            body = {"model": model, "k": k, "results": results}
+        return self._json(200, body)
+
+    async def _enqueue_topk(self, model: str, k: int, nodes: np.ndarray,
+                            timeout: float,
+                            ) -> tuple[np.ndarray, np.ndarray]:
+        """Admission control + the queue hand-off to the batcher."""
+        if self._closing:
+            raise _HTTPError(503, "server is shutting down")
+        config = self.config
+        if self._pending >= config.max_queue:
+            if self._metrics and obs.enabled():
+                obs.get_registry().counter("http_overload_total").inc()
+            raise _HTTPError(
+                429, f"queue full ({config.max_queue} pending requests)",
+                headers={"retry-after": f"{config.retry_after:.3f}"})
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        request = _TopkRequest(nodes, future, loop.time() + timeout)
+        batcher = self._batchers.get((model, k))
+        if batcher is None:
+            batcher = self._batchers[(model, k)] = _Batcher(self, model, k)
+        self._pending += 1
+        self._set_queue_depth()
+        batcher.queue.put_nowait(request)
+        try:
+            return await future
+        except _Deadline:
+            raise _HTTPError(
+                504, f"deadline exceeded after {timeout:.3f}s in queue",
+                headers={"retry-after": f"{config.retry_after:.3f}"}
+                ) from None
+        except ParameterError as exc:
+            raise _HTTPError(400, str(exc)) from None
+        except ReproError as exc:
+            raise _HTTPError(404, str(exc)) from None
+        finally:
+            self._pending -= 1
+            self._set_queue_depth()
+
+    def _set_queue_depth(self) -> None:
+        if self._metrics and obs.enabled():
+            obs.get_registry().gauge("http_queue_depth").set(self._pending)
+
+    async def _dispatch(self, model: str, k: int,
+                        batch: list[_TopkRequest]) -> None:
+        """One coalesced engine call; splits results back per request."""
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live: list[_TopkRequest] = []
+        for request in batch:
+            if request.future.done():       # client connection dropped
+                continue
+            if now > request.deadline:
+                request.future.set_exception(_Deadline())
+                if self._metrics and obs.enabled():
+                    obs.get_registry().counter(
+                        "http_deadline_shed_total").inc()
+                continue
+            live.append(request)
+        if not live:
+            return
+        if self._metrics and obs.enabled():
+            obs.get_registry().histogram(
+                "http_batch_requests", {"model": model}).observe(len(live))
+        try:
+            engine = self.registry.get(model)
+            nodes = (live[0].nodes if len(live) == 1
+                     else np.concatenate([r.nodes for r in live]))
+            ids, scores = await loop.run_in_executor(
+                self._executor, engine.topk, nodes, k)
+        except BaseException as exc:   # noqa: BLE001 - routed per request
+            # A swap can shrink the model between per-request validation
+            # and dispatch; re-run requests solo so one stale id cannot
+            # poison its batch peers.
+            if len(live) > 1 and isinstance(exc, ParameterError):
+                for request in live:
+                    await self._dispatch(model, k, [request])
+                return
+            for request in live:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        offset = 0
+        for request in live:
+            count = len(request.nodes)
+            if not request.future.done():
+                request.future.set_result(
+                    (ids[offset:offset + count],
+                     scores[offset:offset + count]))
+            offset += count
+
+    # ------------------------------------------------------------------
+    # /v1/{model}/score
+    # ------------------------------------------------------------------
+    async def _handle_score(self, model: str, payload: dict,
+                            ) -> tuple[int, bytes, str, dict]:
+        if "src" not in payload or "dst" not in payload:
+            raise _HTTPError(400, 'body must have "src" and "dst"')
+        engine = self._get_engine(model)
+        try:
+            src = np.asarray(payload["src"], dtype=np.int64)
+            dst = np.asarray(payload["dst"], dtype=np.int64)
+        except (TypeError, ValueError):
+            raise _HTTPError(400, '"src"/"dst" must be integer node ids'
+                             ) from None
+        loop = asyncio.get_running_loop()
+        try:
+            scores = await loop.run_in_executor(
+                self._executor, engine.score, src, dst)
+        except ParameterError as exc:
+            raise _HTTPError(400, str(exc)) from None
+        if src.ndim == 0 and dst.ndim == 0:
+            return self._json(200, {"model": model,
+                                    "score": float(scores[0])})
+        return self._json(200, {"model": model,
+                                "scores": [float(s) for s in scores]})
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _json(status: int, body: dict) -> tuple[int, bytes, str, dict]:
+        return (status, json.dumps(body).encode("utf-8"),
+                "application/json", {})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ServingHTTPServer(host={self.host!r}, port={self.port}, "
+                f"models={self.registry.names()})")
+
+
+# ----------------------------------------------------------------------
+# request parsing helpers
+# ----------------------------------------------------------------------
+
+def _parse_head(blob: bytes) -> tuple[str, str, dict, bool]:
+    """Parse request line + headers; raises ValueError on malformed."""
+    try:
+        text = blob.decode("latin-1")
+    except UnicodeDecodeError:       # pragma: no cover - latin-1 total
+        raise ValueError("undecodable request head") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ValueError(f"malformed request line {lines[0]!r}")
+    method, path, version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        key, sep, value = line.partition(":")
+        if not sep:
+            raise ValueError(f"malformed header line {line!r}")
+        headers[key.strip().lower()] = value.strip()
+    keep_alive = (version == "HTTP/1.1"
+                  and headers.get("connection", "").lower() != "close")
+    return method, path, headers, keep_alive
+
+
+def _route_label(method: str, path: str) -> str:
+    """Bounded route label for metrics (no per-model cardinality blowup
+    beyond the registry's own model names)."""
+    path = path.split("?", 1)[0]
+    if path in ("/healthz", "/metrics", "/v1/models"):
+        return path
+    parts = [p for p in path.split("/") if p]
+    if len(parts) == 3 and parts[0] == "v1" and parts[2] in ("topk",
+                                                             "score"):
+        return f"/v1/{{model}}/{parts[2]}"
+    return "other"
+
+
+def _require(method: str, expected: str) -> None:
+    if method != expected:
+        raise _HTTPError(405, f"use {expected} for this route")
+
+
+def _parse_json(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8") or "{}")
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _HTTPError(400, f"request body is not valid JSON: {exc}"
+                         ) from None
+    if not isinstance(payload, dict):
+        raise _HTTPError(400, "request body must be a JSON object")
+    return payload
+
+
+def _as_int(value, name: str, *, minimum: int) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _HTTPError(400, f'"{name}" must be an integer')
+    if value < minimum:
+        raise _HTTPError(400, f'"{name}" must be >= {minimum}')
+    return value
+
+
+def _as_timeout(value, default: float) -> float:
+    if value is None:
+        return default
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _HTTPError(400, '"timeout" must be a number of seconds')
+    if value <= 0:
+        raise _HTTPError(400, '"timeout" must be > 0')
+    return float(value)

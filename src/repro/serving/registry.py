@@ -74,8 +74,23 @@ class ServingRegistry:
             if name in self._engines and not replace:
                 raise ReproError(
                     f"model {name!r} already registered (pass replace=True)")
+            retired = self._engines.get(name)
             self._engines[name] = engine
+        self._retire(retired, engine)
         return engine
+
+    @staticmethod
+    def _retire(old, new=None) -> None:
+        """Close an engine this registry evicted (outside the lock).
+
+        In-flight queries that already resolved ``old`` finish on it —
+        closing only shuts the retrieval backend's thread pool down,
+        and backends degrade to serial execution after that — so the
+        registry's swap invariant (readers never see a torn engine)
+        survives the cleanup.
+        """
+        if old is not None and old is not new:
+            old.close()
 
     def swap(self, name: str, source, **engine_options) -> QueryEngine:
         """Atomically replace the live engine of ``name`` (hot swap).
@@ -93,7 +108,9 @@ class ServingRegistry:
                 raise ReproError(
                     f"no model {name!r} to swap; register() it first "
                     f"(have {sorted(self._engines)})")
+            retired = self._engines[name]
             self._engines[name] = engine
+        self._retire(retired, engine)
         return engine
 
     def get(self, name: str) -> QueryEngine:
@@ -110,7 +127,22 @@ class ServingRegistry:
             if name not in self._engines:
                 raise ReproError(
                     f"no model {name!r} registered; have {self.names()}")
-            del self._engines[name]
+            retired = self._engines.pop(name)
+        self._retire(retired)
+
+    def close(self) -> None:
+        """Unregister every model and close its engine.
+
+        What a long-lived server calls on shutdown so retrieval thread
+        pools exit with it instead of lingering until interpreter
+        teardown. The registry stays usable afterwards (it is simply
+        empty).
+        """
+        with self._lock:
+            retired = list(self._engines.values())
+            self._engines.clear()
+        for engine in retired:
+            self._retire(engine)
 
     def names(self) -> list[str]:
         with self._lock:

@@ -138,8 +138,16 @@ class ShardRouter:
             # shift shard-local ids to global ids; -1 sentinels stay -1
             return np.where(ids >= 0, ids + offset, ids), scores
 
-        if self._pool is not None and len(queries):
-            partials = list(self._pool.map(one, self._indexes))
+        pool = self._pool
+        if pool is not None and len(queries):
+            try:
+                partials = list(pool.map(one, self._indexes))
+            except RuntimeError:
+                # close() raced us (a hot swap retired this router while
+                # a reader that resolved the engine earlier was still
+                # querying): fall back to serial scatter — correctness
+                # over parallelism for the tail of in-flight queries
+                partials = [one(entry) for entry in self._indexes]
         else:
             partials = [one(entry) for entry in self._indexes]
         if on:
@@ -169,6 +177,27 @@ class ShardRouter:
                    registry.gauge("router_straggler_seconds"))
         self._obs_series = (registry.generation, handles)
         return handles
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the scatter thread pool down (idempotent).
+
+        Without this every hot swap of a sharded engine strands its
+        idle ``shard-router`` threads until the garbage collector
+        happens to finalize the executor. ``wait=False`` lets work
+        already submitted by an in-flight :meth:`search` finish on the
+        pool threads before they exit; a search that races the close
+        and can no longer submit falls back to serial scatter.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ShardRouter(shards={self.num_shards}, "
@@ -234,6 +263,10 @@ class ShardedQueryEngine(QueryEngine):
     @property
     def num_shards(self) -> int:
         return self.index.num_shards
+
+    def close(self) -> None:
+        """Shut the router's scatter thread pool down (idempotent)."""
+        self.index.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ShardedQueryEngine(name={self.name!r}, "

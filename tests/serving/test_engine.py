@@ -74,6 +74,50 @@ def test_topk_validation(nrp_model):
         engine.topk(-1, k=5)
 
 
+def test_score_mismatched_lengths_raise_parameter_error(nrp_model):
+    """Regression: misaligned pairs used to surface a raw einsum
+    ValueError; the HTTP /score route needs a typed 400, not a 500."""
+    engine = nrp_model.to_serving()
+    with pytest.raises(ParameterError, match="aligned pairs"):
+        engine.score([0, 1, 2], [3, 4])
+    with pytest.raises(ParameterError, match="aligned pairs"):
+        engine.score([0], [1, 2, 3])
+    with pytest.raises(ParameterError, match="1-D"):
+        engine.score([[0, 1]], [[2, 3]])
+
+
+def test_score_scalar_broadcast(nrp_model):
+    """A scalar endpoint broadcasts against the other side's array."""
+    engine = nrp_model.to_serving()
+    fanout = engine.score(3, [0, 5, 9])
+    np.testing.assert_allclose(fanout, engine.score([3, 3, 3], [0, 5, 9]))
+    fanin = engine.score([0, 5, 9], 3)
+    np.testing.assert_allclose(fanin, engine.score([0, 5, 9], [3, 3, 3]))
+    both = engine.score(2, 7)
+    np.testing.assert_allclose(both, engine.score([2], [7]))
+    # broadcast still range-checks the scalar side
+    with pytest.raises(ParameterError, match="out of range"):
+        engine.score(engine.num_nodes, [0, 1])
+
+
+@pytest.mark.parametrize("make_engine_fn", [
+    lambda m: m.to_serving(),
+    lambda m: m.to_serving(index="ivf", num_lists=4, nprobe=4),
+    lambda m: m.to_serving(shards=3),
+], ids=["flat", "ivf", "sharded"])
+def test_empty_batch_topk_width_matches_backend(nrp_model, make_engine_fn):
+    """Regression: the empty-batch path used its own column convention
+    (min(k, num_nodes)); it must match the index's min(k, num_items)."""
+    engine = make_engine_fn(nrp_model)
+    for k in (5, engine.num_nodes, engine.num_nodes + 50):
+        full_ids, full_scores = engine.topk([0, 1], k=k)
+        empty_ids, empty_scores = engine.topk([], k=k)
+        assert empty_ids.shape == (0, full_ids.shape[1])
+        assert empty_scores.shape == (0, full_scores.shape[1])
+        assert empty_ids.shape[1] == min(k, engine.index.num_items)
+        assert empty_ids.dtype == full_ids.dtype
+
+
 def test_score_validation(nrp_model):
     engine = nrp_model.to_serving()
     with pytest.raises(ParameterError, match="src"):

@@ -283,3 +283,72 @@ def test_concurrent_register_replace_and_get():
         t.join()
     assert not errors
     assert len(reg) == 1
+
+
+# ----------------------------------------------------------------------
+# engine lifecycle: hot swaps must not strand router threads
+# ----------------------------------------------------------------------
+
+def _router_threads() -> int:
+    return sum(t.name.startswith("shard-router")
+               for t in threading.enumerate())
+
+
+def _wait_router_threads(at_most: int, timeout: float = 10.0) -> int:
+    """Poll until the shard-router thread count settles at ``at_most``.
+
+    close() uses shutdown(wait=False), so pool threads exit
+    asynchronously — the count converges, it does not drop instantly.
+    """
+    import time
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        count = _router_threads()
+        if count <= at_most:
+            return count
+        time.sleep(0.05)
+    return _router_threads()
+
+
+def test_swap_does_not_leak_router_threads():
+    """Regression: 50 hot swaps of a sharded engine used to strand 50
+    idle shard-router pools until GC; swap must close the old engine."""
+    workers = 2
+    reg = ServingRegistry()
+    reg.register("live", _generation_bundle(0), shards=4, workers=workers,
+                 cache_size=0)
+    for g in range(1, 51):
+        reg.topk("live", [g % 64], k=3)   # force pool threads to spawn
+        reg.swap("live", _generation_bundle(g), shards=4, workers=workers,
+                 cache_size=0)
+    reg.topk("live", [0], k=3)
+    # only the live engine's pool may remain
+    assert _wait_router_threads(workers) <= workers
+    reg.unregister("live")
+    assert _wait_router_threads(0) == 0
+
+
+def test_closed_router_degrades_to_serial_search():
+    """A reader holding a swapped-out engine keeps getting answers."""
+    reg = ServingRegistry()
+    engine = reg.register("live", _generation_bundle(0), shards=4,
+                          workers=2, cache_size=0)
+    before_ids, before_scores = engine.topk([1, 2, 3], k=5)
+    reg.swap("live", _generation_bundle(1), cache_size=0)  # closes old
+    after_ids, after_scores = engine.topk([1, 2, 3], k=5)  # serial path
+    np.testing.assert_array_equal(before_ids, after_ids)
+    np.testing.assert_allclose(before_scores, after_scores)
+
+
+def test_registry_close_empties_and_closes():
+    reg = ServingRegistry()
+    reg.register("a", _generation_bundle(0), shards=2, workers=2,
+                 cache_size=0)
+    reg.register("b", _generation_bundle(1), cache_size=0)
+    reg.topk("a", [0], k=2)
+    reg.close()
+    assert len(reg) == 0
+    assert reg.names() == []
+    assert _wait_router_threads(0) == 0
+    reg.register("a", _generation_bundle(2))   # registry stays usable
+    assert "a" in reg

@@ -37,7 +37,7 @@ import numpy as np
 
 __all__ = ["StormResult", "run_storm", "BarrierSchedule", "truncate_file",
            "tear_json", "set_current_pointer", "drop_shard_dir",
-           "generation_embedding"]
+           "generation_embedding", "http_json", "LatencyRecorder"]
 
 
 # ----------------------------------------------------------------------
@@ -171,6 +171,83 @@ class BarrierSchedule:
     def abort(self) -> None:
         """Break every waiting party out (used on failure paths)."""
         self._barrier.abort()
+
+
+# ----------------------------------------------------------------------
+# real-socket HTTP storms
+# ----------------------------------------------------------------------
+
+def http_json(conn, method: str, path: str, payload=None,
+              ) -> tuple[int, dict, dict]:
+    """One JSON exchange on a persistent ``http.client`` connection.
+
+    Returns ``(status, body, headers)``; non-JSON bodies come back as
+    ``{"raw": text}``. Storm work functions keep one connection per
+    thread (HTTP keep-alive), which is both faster and exactly how a
+    production client pool behaves.
+    """
+    body = None
+    headers = {}
+    if payload is not None:
+        body = json.dumps(payload)
+        headers["content-type"] = "application/json"
+    conn.request(method, path, body, headers)
+    response = conn.getresponse()
+    raw = response.read()
+    try:
+        parsed = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        parsed = {"raw": raw.decode("utf-8", "replace")}
+    return response.status, parsed, dict(response.getheaders())
+
+
+class LatencyRecorder:
+    """Per-thread latency collection with percentile/SLO asserts.
+
+    ``record(tid)`` is a context manager a storm work function wraps
+    one operation in; lists are per-thread so recording takes no lock.
+    """
+
+    def __init__(self, threads: int) -> None:
+        self._lists: list[list[float]] = [[] for _ in range(threads)]
+
+    class _Timed:
+        __slots__ = ("sink", "start")
+
+        def __init__(self, sink: list) -> None:
+            self.sink = sink
+
+        def __enter__(self) -> "LatencyRecorder._Timed":
+            self.start = time.perf_counter()
+            return self
+
+        def __exit__(self, exc_type, *exc_info) -> None:
+            if exc_type is None:
+                self.sink.append(time.perf_counter() - self.start)
+
+    def record(self, tid: int) -> "_Timed":
+        return self._Timed(self._lists[tid])
+
+    @property
+    def samples(self) -> np.ndarray:
+        merged = [v for sink in self._lists for v in sink]
+        return np.asarray(merged, dtype=np.float64)
+
+    def percentile(self, q: float) -> float:
+        samples = self.samples
+        if not len(samples):
+            raise AssertionError("no latencies recorded")
+        return float(np.percentile(samples, q))
+
+    def assert_slo(self, *, p50: float | None = None,
+                   p99: float | None = None) -> None:
+        """Fail with the measured numbers when a percentile SLO breaks."""
+        if p50 is not None and self.percentile(50) > p50:
+            raise AssertionError(
+                f"p50 SLO broken: {self.percentile(50):.4f}s > {p50}s")
+        if p99 is not None and self.percentile(99) > p99:
+            raise AssertionError(
+                f"p99 SLO broken: {self.percentile(99):.4f}s > {p99}s")
 
 
 # ----------------------------------------------------------------------
