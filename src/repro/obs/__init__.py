@@ -38,10 +38,13 @@ the enabled-mode overhead too).
 """
 
 from ..logging_utils import Timer, configure_logging, get_logger, timed
+from . import requestctx
 from .cli import add_observability_flags, dump_metrics, setup_observability
 from .export import snapshot, to_prometheus_text, write_snapshot
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, capture,
                       enabled, get_registry, reset, set_enabled)
+from .requestctx import TraceContext
+from .requestlog import RequestLogger, TraceRing
 from .tracing import Span, current_span, trace
 
 __all__ = [
@@ -50,6 +53,8 @@ __all__ = [
     "enabled", "set_enabled", "get_registry", "reset", "capture",
     # tracing
     "Span", "trace", "current_span",
+    # request-scoped context + request-granular logs
+    "requestctx", "TraceContext", "RequestLogger", "TraceRing",
     # exporters
     "snapshot", "write_snapshot", "to_prometheus_text",
     # CLI wiring

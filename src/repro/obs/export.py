@@ -50,11 +50,14 @@ def snapshot(registry: MetricsRegistry | None = None, *,
                  "value": _sane(metric.value)})
         elif isinstance(metric, Histogram):
             pct = metric.percentiles()
-            out["histograms"].append(
-                {"name": metric.name, "labels": labels,
-                 "count": metric.count, "sum": _sane(metric.sum),
-                 "p50": _sane(pct["p50"]), "p95": _sane(pct["p95"]),
-                 "p99": _sane(pct["p99"])})
+            record = {"name": metric.name, "labels": labels,
+                      "count": metric.count, "sum": _sane(metric.sum),
+                      "p50": _sane(pct["p50"]), "p95": _sane(pct["p95"]),
+                      "p99": _sane(pct["p99"])}
+            exemplars = metric.exemplars()
+            if exemplars:
+                record["exemplars"] = exemplars
+            out["histograms"].append(record)
     if spans:
         out["traces"] = [span.to_dict() for span in registry.spans()]
     return out
@@ -110,8 +113,21 @@ def _prom_labels(labels: dict, extra: dict | None = None) -> str:
     return "{" + body + "}"
 
 
+def _help_text(text: str) -> str:
+    """HELP line payload with the exposition format's escapes."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def to_prometheus_text(registry: MetricsRegistry | None = None) -> str:
-    """The registry in Prometheus text exposition format."""
+    """The registry in Prometheus text exposition format.
+
+    Conformance details the tests pin: counters are ``_total``-suffixed
+    (appended when the registry name lacks it), every name gets a
+    ``# TYPE`` line and — when any series of the name carries a
+    description — a ``# HELP`` line before it, histogram buckets are
+    cumulative with monotone ``le`` edges, and the ``+Inf`` bucket
+    equals ``_count``.
+    """
     registry = registry or get_registry()
     by_name: dict[str, list] = {}
     for metric in registry.series():
@@ -121,6 +137,12 @@ def to_prometheus_text(registry: MetricsRegistry | None = None) -> str:
         series = by_name[name]
         kind = series[0].kind
         prom = _prom_name(name)
+        if kind == "counter" and not prom.endswith("_total"):
+            prom += "_total"
+        description = next((m.description for m in series
+                            if m.description), None)
+        if description:
+            lines.append(f"# HELP {prom} {_help_text(description)}")
         lines.append(f"# TYPE {prom} {kind}")
         for metric in series:
             labels = dict(metric.labels)

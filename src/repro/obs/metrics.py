@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from collections import deque
 
 import numpy as np
@@ -54,11 +55,12 @@ class Counter:
     """Monotonically increasing sum."""
 
     kind = "counter"
-    __slots__ = ("name", "labels", "_value", "_lock")
+    __slots__ = ("name", "labels", "description", "_value", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey = ()) -> None:
         self.name = name
         self.labels = labels
+        self.description: str | None = None
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -78,11 +80,12 @@ class Gauge:
     """Last-written value; supports relative adjustment."""
 
     kind = "gauge"
-    __slots__ = ("name", "labels", "_value", "_lock")
+    __slots__ = ("name", "labels", "description", "_value", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey = ()) -> None:
         self.name = name
         self.labels = labels
+        self.description: str | None = None
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -122,9 +125,9 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "labels", "_min", "_log_growth", "_edges",
-                 "_counts", "_sum", "_count", "_obs_min", "_obs_max",
-                 "_lock")
+    __slots__ = ("name", "labels", "description", "_min", "_log_growth",
+                 "_edges", "_counts", "_sum", "_count", "_obs_min",
+                 "_obs_max", "_exemplars", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey = (), *,
                  min_value: float = 1e-6, growth: float = 1.25,
@@ -137,6 +140,7 @@ class Histogram:
             raise ParameterError("num_buckets must be >= 1")
         self.name = name
         self.labels = labels
+        self.description: str | None = None
         self._min = float(min_value)
         self._log_growth = math.log(growth)
         self._edges = min_value * np.power(float(growth),
@@ -147,6 +151,10 @@ class Histogram:
         self._count = 0
         self._obs_min = math.inf
         self._obs_max = -math.inf
+        # bucket index -> most recent exemplar observed in that bucket
+        # (bounded by the bucket count; sampled traces link a latency
+        # spike back to a concrete request)
+        self._exemplars: dict[int, dict] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -166,7 +174,11 @@ class Histogram:
         idx = int(math.ceil(pos - 1e-9))
         return min(idx, len(self._counts) - 1)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
+        """Record ``value``; ``exemplar`` optionally attaches a small
+        label dict (canonically ``{"trace_id": ...}``) identifying one
+        concrete event that landed in this bucket — the most recent
+        exemplar per bucket is kept."""
         value = float(value)
         idx = self.bucket_index(value)
         with self._lock:
@@ -177,6 +189,10 @@ class Histogram:
                 self._obs_min = value
             if value > self._obs_max:
                 self._obs_max = value
+            if exemplar is not None:
+                self._exemplars[idx] = {"value": value,
+                                        "labels": dict(exemplar),
+                                        "ts": time.time()}
 
     # ------------------------------------------------------------------
     @property
@@ -191,6 +207,12 @@ class Histogram:
         """A snapshot copy of the per-bucket counts."""
         with self._lock:
             return self._counts.copy()
+
+    def exemplars(self) -> list[dict]:
+        """Recent exemplars, one per bucket at most, by ascending value."""
+        with self._lock:
+            records = [dict(e) for e in self._exemplars.values()]
+        return sorted(records, key=lambda e: e["value"])
 
     def quantile(self, q: float) -> float:
         """Estimated ``q``-quantile of everything observed so far.
@@ -259,7 +281,7 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def _get_or_create(self, kind: str, name: str, labels: dict | None,
-                       **options):
+                       description: str | None = None, **options):
         key = (name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is not None:
@@ -267,6 +289,8 @@ class MetricsRegistry:
                 raise ParameterError(
                     f"metric {name!r} already registered as {metric.kind}, "
                     f"cannot re-register as {kind}")
+            if description and metric.description is None:
+                metric.description = description
             return metric
         with self._lock:
             metric = self._metrics.get(key)
@@ -283,19 +307,26 @@ class MetricsRegistry:
                         f"metric {name!r} already registered as {seen}, "
                         f"cannot re-register as {kind}")
                 metric = _KINDS[kind](name, key[1], **options)
+                if description:
+                    # first description wins; exposition emits one HELP
+                    # line per name, taken from any series carrying one
+                    metric.description = description
                 self._kinds[name] = kind
                 self._metrics[key] = metric
         return metric
 
-    def counter(self, name: str, labels: dict | None = None) -> Counter:
-        return self._get_or_create("counter", name, labels)
+    def counter(self, name: str, labels: dict | None = None, *,
+                description: str | None = None) -> Counter:
+        return self._get_or_create("counter", name, labels, description)
 
-    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
-        return self._get_or_create("gauge", name, labels)
+    def gauge(self, name: str, labels: dict | None = None, *,
+              description: str | None = None) -> Gauge:
+        return self._get_or_create("gauge", name, labels, description)
 
-    def histogram(self, name: str, labels: dict | None = None,
-                  **options) -> Histogram:
-        return self._get_or_create("histogram", name, labels, **options)
+    def histogram(self, name: str, labels: dict | None = None, *,
+                  description: str | None = None, **options) -> Histogram:
+        return self._get_or_create("histogram", name, labels, description,
+                                   **options)
 
     # ------------------------------------------------------------------
     def get(self, name: str, labels: dict | None = None):

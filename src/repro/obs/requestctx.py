@@ -1,0 +1,248 @@
+"""Request-scoped trace context that survives async and thread hops.
+
+The serving path of one HTTP request crosses four execution domains:
+the event-loop task that parses it, the micro-batcher's queue, the
+``ThreadPoolExecutor`` worker that runs the engine call, and (for
+sharded stores) the :class:`~repro.serving.router.ShardRouter` fan-out
+pool. Thread-locals lose the request at every hop; this module is the
+:mod:`contextvars`-based identity that does not:
+
+* :class:`TraceContext` — trace id, span id, sampling decision,
+  optional deadline, and a shared ``meta`` dict request handlers stuff
+  per-request facts into (queue wait, batch size, shed reason) for the
+  access log to pick up;
+* :func:`new_trace` / :func:`child_context` — mint ids (W3C sizes:
+  16-byte trace id, 8-byte span id, lowercase hex);
+* :func:`parse_traceparent` / :func:`format_traceparent` — the W3C
+  ``traceparent`` header (``00-{trace}-{span}-{flags}``); malformed
+  headers parse to ``None``, *never* raise — a bad header must start a
+  fresh trace, not 500 the request;
+* :func:`activate` / :func:`current` — bind a context to the running
+  task/thread (asyncio tasks inherit through the context copy the loop
+  makes per task);
+* :func:`bind` — wrap a callable so it runs under a snapshot of the
+  *caller's* context inside a thread pool: the span parent and the
+  trace context both cross ``run_in_executor`` / ``pool.submit``, and
+  nothing leaks between pooled tasks because every bound call runs in
+  its own copy.
+
+Everything here is stdlib; ids come from :func:`os.urandom`, so no
+seeding concerns and no global RNG contention.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import string
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "TraceContext", "new_trace", "child_context", "current", "activate",
+    "set_current", "bind", "parse_traceparent", "format_traceparent",
+    "exemplar", "sample_decision",
+]
+
+_CTX: contextvars.ContextVar["TraceContext | None"] = (
+    contextvars.ContextVar("repro_obs_requestctx", default=None))
+
+_HEX = set(string.hexdigits.lower())
+
+
+class TraceContext:
+    """One request's identity as it moves through the serving path.
+
+    ``trace_id`` (32 lowercase hex chars) names the whole request;
+    ``span_id`` (16 hex chars) names the current hop; ``sampled`` is
+    the head-based sampling decision (trace trees and exemplars are
+    only retained for sampled requests — counters and histograms always
+    record); ``deadline`` is an absolute :func:`time.monotonic` point
+    or ``None``; ``meta`` is a *shared* mutable dict — copies made by
+    :func:`child_context` alias it on purpose, so a batcher thread
+    noting ``meta["batch_size"]`` is visible to the handler writing the
+    access-log line.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_span_id", "sampled",
+                 "deadline", "meta")
+
+    def __init__(self, trace_id: str, span_id: str, *,
+                 parent_span_id: str | None = None, sampled: bool = True,
+                 deadline: float | None = None,
+                 meta: dict | None = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_span_id = parent_span_id
+        self.sampled = sampled
+        self.deadline = deadline
+        self.meta = meta if meta is not None else {}
+
+    # ------------------------------------------------------------------
+    def remaining(self, now: float | None = None) -> float | None:
+        """Seconds until the deadline (negative if past); None if unset."""
+        if self.deadline is None:
+            return None
+        return self.deadline - (time.monotonic() if now is None else now)
+
+    def to_dict(self) -> dict:
+        """JSON-ready identity (what /debug/traces rows embed)."""
+        record = {"trace_id": self.trace_id, "span_id": self.span_id,
+                  "sampled": self.sampled}
+        if self.parent_span_id is not None:
+            record["parent_span_id"] = self.parent_span_id
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TraceContext({self.trace_id[:8]}…/{self.span_id}, "
+                f"sampled={self.sampled})")
+
+
+# ----------------------------------------------------------------------
+# minting and deriving contexts
+# ----------------------------------------------------------------------
+
+def _hex_id(nbytes: int) -> str:
+    value = os.urandom(nbytes).hex()
+    if set(value) <= {"0"}:          # pragma: no cover - astronomically rare
+        return _hex_id(nbytes)       # all-zero ids are invalid per W3C
+    return value
+
+
+def new_trace(*, sampled: bool = True,
+              deadline: float | None = None) -> TraceContext:
+    """A fresh root context with new trace and span ids."""
+    return TraceContext(_hex_id(16), _hex_id(8), sampled=sampled,
+                        deadline=deadline)
+
+
+def child_context(parent: TraceContext, *,
+                  deadline: float | None = None) -> TraceContext:
+    """Same trace, new span id; shares the parent's ``meta`` dict."""
+    return TraceContext(parent.trace_id, _hex_id(8),
+                        parent_span_id=parent.span_id,
+                        sampled=parent.sampled,
+                        deadline=(parent.deadline if deadline is None
+                                  else deadline),
+                        meta=parent.meta)
+
+
+def sample_decision(trace_id: str, rate: float) -> bool:
+    """Deterministic head sampling: the same trace id always lands on
+    the same side of ``rate``, so retries and multi-hop fan-outs of one
+    trace agree without coordination."""
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return (int(trace_id[:8], 16) / 0xFFFFFFFF) < rate
+
+
+# ----------------------------------------------------------------------
+# the current context
+# ----------------------------------------------------------------------
+
+def current() -> TraceContext | None:
+    """The context bound to this task/thread, if any."""
+    return _CTX.get()
+
+
+def set_current(ctx: TraceContext | None) -> contextvars.Token:
+    """Bind ``ctx``; returns the token for :meth:`ContextVar.reset`."""
+    return _CTX.set(ctx)
+
+
+@contextmanager
+def activate(ctx: TraceContext | None):
+    """Scoped :func:`set_current` (restores the previous binding)."""
+    token = _CTX.set(ctx)
+    try:
+        yield ctx
+    finally:
+        try:
+            _CTX.reset(token)
+        except ValueError:           # crossed a context boundary
+            _CTX.set(None)
+
+
+def exemplar() -> dict | None:
+    """A ``{"trace_id": ...}`` exemplar for the current request, or
+    ``None`` when there is no sampled context — what histograms attach
+    to observations so a p99 spike links back to a concrete trace."""
+    ctx = _CTX.get()
+    if ctx is None or not ctx.sampled:
+        return None
+    return {"trace_id": ctx.trace_id}
+
+
+# ----------------------------------------------------------------------
+# crossing thread pools
+# ----------------------------------------------------------------------
+
+def bind(fn, *args, ctx: TraceContext | None = None, **kwargs):
+    """Snapshot the caller's context into a zero-arg callable.
+
+    ``loop.run_in_executor(pool, requestctx.bind(work))`` runs ``work``
+    under a *copy* of the submitting context: :func:`current` answers
+    the same trace, and spans opened inside nest under the caller's
+    live span instead of becoming detached roots. Each bound call gets
+    its own copy, so pooled tasks cannot leak context into each other
+    — a worker that runs a bound call and then an unbound one sees the
+    unbound one start from the pool thread's own (empty) context.
+
+    ``ctx=`` additionally rebinds the trace context inside the snapshot
+    (the micro-batcher uses this to attribute one coalesced engine call
+    to a member request's trace).
+    """
+    snapshot = contextvars.copy_context()
+    if ctx is None:
+        return lambda: snapshot.run(fn, *args, **kwargs)
+
+    def _with_ctx():
+        def _inner():
+            _CTX.set(ctx)
+            return fn(*args, **kwargs)
+        return snapshot.run(_inner)
+    return _with_ctx
+
+
+# ----------------------------------------------------------------------
+# W3C trace-context header
+# ----------------------------------------------------------------------
+
+def parse_traceparent(value: str | None) -> TraceContext | None:
+    """Parse a W3C ``traceparent`` header into a context, or ``None``.
+
+    Accepts ``version-traceid-spanid-flags`` with lowercase hex fields
+    of widths 2/32/16/2; rejects (by returning ``None``) anything
+    malformed, all-zero ids, and the reserved version ``ff``. The
+    returned context carries the *remote* span id as
+    ``parent_span_id`` and a fresh local span id, with the header's
+    sampled flag (bit 0) preserved.
+    """
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, parent_id, flags = parts[0], parts[1], parts[2], parts[3]
+    if (len(version), len(trace_id), len(parent_id), len(flags)) != (2, 32, 16, 2):
+        return None
+    for field in (version, trace_id, parent_id, flags):
+        if not set(field) <= _HEX:
+            return None
+    if version == "ff":
+        return None
+    if version == "00" and len(parts) != 4:
+        return None
+    if set(trace_id) == {"0"} or set(parent_id) == {"0"}:
+        return None
+    sampled = bool(int(flags, 16) & 0x01)
+    return TraceContext(trace_id, _hex_id(8), parent_span_id=parent_id,
+                        sampled=sampled)
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    """The context as an outgoing ``traceparent`` header value."""
+    return (f"00-{ctx.trace_id}-{ctx.span_id}-"
+            f"{'01' if ctx.sampled else '00'}")

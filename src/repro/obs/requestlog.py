@@ -1,0 +1,208 @@
+"""Structured request logs and the recent-trace ring.
+
+Two request-granular consumers sit downstream of the serving tier's
+metrics (which are aggregates) and trace trees (which are samples):
+
+* :class:`RequestLogger` — one JSON object per request, machine-first:
+  route, status, duration, trace id, queue wait, batch size, shed
+  reason. Lines are **rate-bounded** (token bucket, ``max_per_second``)
+  so an overload that sheds 50k requests/s does not turn the logger
+  into a second outage; dropped lines are counted (and exported as the
+  ``access_log_dropped_total`` metric when collection is on) rather
+  than silently lost. Writes are buffered — call :meth:`flush` on
+  drain paths (the ``repro-serve serve`` SIGTERM handler does) and
+  :meth:`close` when done.
+
+* :class:`TraceRing` — a bounded ring of recent *sampled* request
+  records (identity + the full span tree as JSON), filterable by
+  route, status, and minimum duration. This is what the HTTP tier's
+  ``/debug/traces`` endpoint serves: "show me the slow ones" without
+  a tracing backend deployment.
+
+Both are dependency-free and thread-safe; neither touches the metrics
+registry except to count drops.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from collections import deque
+
+from . import metrics
+
+__all__ = ["RequestLogger", "TraceRing"]
+
+
+class RequestLogger:
+    """Rate-bounded, buffered JSON-lines access logger.
+
+    ``stream`` is any text file object (a real file, ``sys.stderr``, an
+    ``io.StringIO`` in tests). ``max_per_second`` bounds the sustained
+    line rate (a burst of up to ``burst`` lines passes before the
+    bucket gates); ``buffer_lines`` bounds how many formatted lines are
+    held before an automatic flush, so a crash loses at most that many.
+    """
+
+    def __init__(self, stream, *, max_per_second: float = 500.0,
+                 burst: int | None = None, buffer_lines: int = 64,
+                 clock=time.monotonic) -> None:
+        if max_per_second <= 0:
+            raise ValueError("max_per_second must be > 0")
+        if buffer_lines < 1:
+            raise ValueError("buffer_lines must be >= 1")
+        self._stream = stream
+        self._rate = float(max_per_second)
+        self._capacity = float(burst if burst is not None
+                               else max(1.0, max_per_second))
+        self._tokens = self._capacity
+        self._refilled_at = clock()
+        self._clock = clock
+        self._buffer: list[str] = []
+        self._buffer_lines = int(buffer_lines)
+        self._lock = threading.Lock()
+        self.written = 0
+        self.dropped = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def log(self, **fields) -> bool:
+        """Queue one access-log line; False if rate-limited (dropped).
+
+        ``None``-valued fields are elided so lines stay dense; a
+        ``ts`` (unix seconds) field is added when absent. Keys are
+        sorted, so lines diff cleanly.
+        """
+        now = self._clock()
+        with self._lock:
+            if self._closed:
+                return False
+            self._tokens = min(self._capacity, self._tokens
+                               + (now - self._refilled_at) * self._rate)
+            self._refilled_at = now
+            if self._tokens < 1.0:
+                self.dropped += 1
+                if metrics.enabled():
+                    metrics.get_registry().counter(
+                        "access_log_dropped_total").inc()
+                return False
+            self._tokens -= 1.0
+            record = {k: v for k, v in fields.items() if v is not None}
+            record.setdefault("ts", round(time.time(), 6))
+            self._buffer.append(json.dumps(record, sort_keys=True,
+                                           default=str))
+            self.written += 1
+            if len(self._buffer) >= self._buffer_lines:
+                self._flush_locked()
+        return True
+
+    def _flush_locked(self) -> None:
+        if not self._buffer:
+            return
+        lines, self._buffer = self._buffer, []
+        try:
+            self._stream.write("\n".join(lines) + "\n")
+            self._stream.flush()
+        except ValueError:           # stream already closed under us
+            self.dropped += len(lines)
+
+    def flush(self) -> None:
+        """Write buffered lines through and flush the stream."""
+        with self._lock:
+            self._flush_locked()
+
+    def close(self) -> None:
+        """Flush and refuse further lines (the stream stays caller-owned
+        unless it is one we can safely close, i.e. a plain file)."""
+        with self._lock:
+            self._flush_locked()
+            self._closed = True
+
+    def stats(self) -> dict:
+        """Written/dropped/buffered counters (what /debug/vars shows)."""
+        with self._lock:
+            return {"written": self.written, "dropped": self.dropped,
+                    "buffered": len(self._buffer),
+                    "max_per_second": self._rate}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def to_path(cls, path, **kwargs) -> "RequestLogger":
+        """A logger over a newly opened append-mode file at ``path``."""
+        stream = open(path, "a", encoding="utf-8", buffering=1)
+        logger = cls(stream, **kwargs)
+        logger._owns_stream = True   # type: ignore[attr-defined]
+        return logger
+
+    def close_stream(self) -> None:
+        """Close, then close the stream too if :meth:`to_path` opened it."""
+        self.close()
+        if getattr(self, "_owns_stream", False) and not isinstance(
+                self._stream, io.StringIO):
+            self._stream.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RequestLogger(written={self.written}, "
+                f"dropped={self.dropped}, rate={self._rate}/s)")
+
+
+class TraceRing:
+    """Bounded ring of recent sampled request traces, filterable.
+
+    Each record is one finished request: identity (trace id, route,
+    status), duration, and the root span tree in :meth:`Span.to_dict`
+    form. :meth:`list` answers the ``/debug/traces`` query surface —
+    newest first, optionally filtered by route, status, and a minimum
+    duration in milliseconds.
+    """
+
+    def __init__(self, maxlen: int = 256) -> None:
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self._ring: deque[dict] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+        self.recorded = 0
+
+    def record(self, *, trace_id: str, route: str, status: int,
+               duration_seconds: float, tree: dict | None = None,
+               **extra) -> dict:
+        """Append one finished request's record; returns it."""
+        record = {"trace_id": trace_id, "route": route,
+                  "status": int(status),
+                  "duration_ms": round(duration_seconds * 1e3, 3),
+                  "recorded_at": round(time.time(), 6)}
+        record.update({k: v for k, v in extra.items() if v is not None})
+        if tree is not None:
+            record["tree"] = tree
+        with self._lock:
+            self._ring.append(record)
+            self.recorded += 1
+        return record
+
+    def list(self, *, route: str | None = None, status: int | None = None,
+             min_duration_ms: float = 0.0, limit: int = 32) -> list[dict]:
+        """Newest-first matching records (at most ``limit``)."""
+        if limit < 1:
+            return []
+        with self._lock:
+            records = list(self._ring)
+        out: list[dict] = []
+        for record in reversed(records):
+            if route is not None and record["route"] != route:
+                continue
+            if status is not None and record["status"] != status:
+                continue
+            if record["duration_ms"] < min_duration_ms:
+                continue
+            out.append(record)
+            if len(out) >= limit:
+                break
+        return out
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceRing(size={len(self._ring)}, recorded={self.recorded})"

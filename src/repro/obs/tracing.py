@@ -1,7 +1,7 @@
 """Nested wall-clock trace trees: the ``Span`` / ``trace()`` API.
 
 A span measures one block of work; spans opened while another span is
-live on the same thread nest under it, so a fit instrumented as
+live in the same *context* nest under it, so a fit instrumented as
 
 ::
 
@@ -19,6 +19,23 @@ plus the optional ``labels=``), so span *counts* and latency quantiles
 are queryable without walking trees; the trees themselves (most recent
 roots, bounded) ride along in JSON snapshots.
 
+Nesting is tracked through a :mod:`contextvars` variable, **not** a
+thread-local stack. The difference only shows up under concurrency,
+where it is the whole point:
+
+* two coroutines interleaving on one event loop each run in their own
+  :class:`contextvars.Context` (asyncio copies the context per task),
+  so their spans build two independent trees instead of mis-nesting
+  into one — the serving tier handles many requests per loop thread
+  and each request must own its tree;
+* a worker thread starts from an empty context, so uninstrumented
+  thread pools still report their spans as roots (per-shard fan-out
+  spans stay per-shard series);
+* a thread pool task that *should* continue a caller's trace opts in
+  explicitly by running under a copied context —
+  :func:`repro.obs.requestctx.bind` is the one-call helper the HTTP
+  tier and the shard router use.
+
 ``trace()`` checks :func:`repro.obs.enabled` first and returns a shared
 no-op context manager when collection is off — instrumenting a code
 path with a span costs one branch when disabled.
@@ -30,30 +47,26 @@ on the trace tree and may be anything JSON-serializable.
 
 from __future__ import annotations
 
-import threading
 import time
 from contextlib import nullcontext
+from contextvars import ContextVar
 
 from . import metrics
 
 __all__ = ["Span", "trace", "current_span"]
 
 _NULL = nullcontext()
-_STACK = threading.local()
 
-
-def _stack() -> list:
-    stack = getattr(_STACK, "spans", None)
-    if stack is None:
-        stack = _STACK.spans = []
-    return stack
+#: The innermost live span of the current context (task or thread).
+_CURRENT: ContextVar["Span | None"] = ContextVar("repro_obs_span",
+                                                 default=None)
 
 
 class Span:
-    """One timed block; a context manager that nests per thread."""
+    """One timed block; a context manager that nests per context."""
 
     __slots__ = ("name", "labels", "attributes", "children", "error",
-                 "started_at", "duration", "_t0")
+                 "started_at", "duration", "_t0", "_parent", "_token")
 
     def __init__(self, name: str, labels: dict | None = None,
                  attributes: dict | None = None) -> None:
@@ -65,6 +78,8 @@ class Span:
         self.started_at = 0.0
         self.duration = 0.0
         self._t0 = 0.0
+        self._parent: Span | None = None
+        self._token = None
 
     # ------------------------------------------------------------------
     def annotate(self, **attrs) -> "Span":
@@ -73,7 +88,8 @@ class Span:
         return self
 
     def __enter__(self) -> "Span":
-        _stack().append(self)
+        self._parent = _CURRENT.get()
+        self._token = _CURRENT.set(self)
         self.started_at = time.time()
         self._t0 = time.perf_counter()
         return self
@@ -82,18 +98,21 @@ class Span:
         self.duration = time.perf_counter() - self._t0
         if exc_type is not None:
             self.error = exc_type.__name__
-        stack = _stack()
-        # unwind to (and including) this span even if inner spans
-        # leaked — an exception that skipped an inner __exit__ must not
-        # leave the stack attributing later work to a dead span
-        while stack:
-            top = stack.pop()
-            if top is self:
-                break
-        if stack:
-            stack[-1].children.append(self)
+        # restore the parent even if inner spans leaked (an inner span
+        # whose __exit__ never ran must not keep attributing later work
+        # to a dead span); a token from another context cannot be
+        # reset, so fall back to an explicit set
+        token, self._token = self._token, None
+        if token is not None:
+            try:
+                _CURRENT.reset(token)
+            except ValueError:     # exited in a different context
+                _CURRENT.set(self._parent)
+        parent, self._parent = self._parent, None
         registry = metrics.get_registry()
-        if not stack:
+        if parent is not None:
+            parent.children.append(self)
+        else:
             registry.record_span(self)
         series = {"name": self.name, **self.labels}
         registry.counter("span_total", series).inc()
@@ -141,6 +160,5 @@ def trace(name: str, labels: dict | None = None, **attrs):
 
 
 def current_span() -> Span | None:
-    """The innermost live span on this thread, if any."""
-    stack = getattr(_STACK, "spans", None)
-    return stack[-1] if stack else None
+    """The innermost live span of this context, if any."""
+    return _CURRENT.get()

@@ -128,6 +128,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--ready-file", default=None, metavar="PATH",
                          help="write a {host, port} JSON file once the "
                               "socket is bound (for test orchestration)")
+    p_serve.add_argument("--trace-sample", type=float, default=1.0,
+                         metavar="RATE",
+                         help="head-sampling rate in [0, 1] for request "
+                              "traces kept in /debug/traces and histogram "
+                              "exemplars (default 1.0)")
+    p_serve.add_argument("--access-log", default=None, metavar="PATH",
+                         help="append one JSON access-log line per request "
+                              "to PATH (rate-bounded; buffers are flushed "
+                              "on SIGTERM/SIGINT shutdown)")
     return parser
 
 
@@ -231,9 +240,12 @@ def _serve_engine_options(args, store) -> dict:
 
 
 def _cmd_serve(args) -> int:
+    import signal
+    import threading
     import time
     from pathlib import Path
 
+    from ..obs.requestlog import RequestLogger
     from .http import HTTPServingConfig, ServingHTTPServer
     from .registry import ServingRegistry
     from .store import CURRENT_NAME, open_current, open_store
@@ -252,45 +264,68 @@ def _cmd_serve(args) -> int:
     registry.register(name, store, **_serve_engine_options(args, store))
     config = HTTPServingConfig(
         max_batch=args.max_batch, max_delay=args.max_delay,
-        max_queue=args.max_queue, default_deadline=args.deadline)
-    server = ServingHTTPServer(registry, config=config)
-    server.start(args.host, args.port)
-    info = {"event": "serving", "host": server.host, "port": server.port,
-            "model": name, "num_nodes": store.num_nodes,
-            "version": store.version}
-    print(json.dumps(info), flush=True)
-    if args.ready_file:
-        Path(args.ready_file).write_text(json.dumps(info),
-                                         encoding="utf-8")
-    version = store.version
-    started = time.monotonic()
-    next_poll = (time.monotonic() + args.watch
-                 if args.watch is not None else None)
+        max_queue=args.max_queue, default_deadline=args.deadline,
+        trace_sample=args.trace_sample)
+    access_log = (RequestLogger.to_path(
+        args.access_log, max_per_second=config.access_log_per_second)
+        if args.access_log else None)
+    server = ServingHTTPServer(registry, config=config,
+                               access_log=access_log)
+    # Graceful drain: SIGTERM/SIGINT break the serve loop instead of
+    # killing the process, so the normal exit path runs — queued batches
+    # drain, the access log flushes, and --metrics-json still writes.
+    # Handlers are only installable from the main thread; the in-thread
+    # test harness (and any embedder) just uses --max-seconds.
+    stop = threading.Event()
+    previous: dict = {}
+    if threading.current_thread() is threading.main_thread():
+        def _graceful(signum, frame):
+            stop.set()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(sig, _graceful)
     try:
-        while True:
-            if (args.max_seconds is not None
-                    and time.monotonic() - started >= args.max_seconds):
-                break
-            time.sleep(0.05)
-            if next_poll is None or time.monotonic() < next_poll:
-                continue
-            next_poll = time.monotonic() + args.watch
-            try:
-                fresh = open_current(root)
-            except ReproError:
-                continue    # publish in flight; keep serving, retry later
-            if fresh.version == version:
-                continue
-            registry.swap(name, fresh,
-                          **_serve_engine_options(args, fresh))
-            version = fresh.version
-            print(json.dumps({"event": "swap", "model": name,
-                              "version": version,
-                              "num_nodes": fresh.num_nodes}), flush=True)
-    except KeyboardInterrupt:
-        pass
+        server.start(args.host, args.port)
+        info = {"event": "serving", "host": server.host,
+                "port": server.port, "model": name,
+                "num_nodes": store.num_nodes, "version": store.version}
+        print(json.dumps(info), flush=True)
+        if args.ready_file:
+            Path(args.ready_file).write_text(json.dumps(info),
+                                             encoding="utf-8")
+        version = store.version
+        started = time.monotonic()
+        next_poll = (time.monotonic() + args.watch
+                     if args.watch is not None else None)
+        try:
+            while not stop.is_set():
+                if (args.max_seconds is not None
+                        and time.monotonic() - started >= args.max_seconds):
+                    break
+                stop.wait(0.05)
+                if next_poll is None or time.monotonic() < next_poll:
+                    continue
+                next_poll = time.monotonic() + args.watch
+                try:
+                    fresh = open_current(root)
+                except ReproError:
+                    continue   # publish in flight; keep serving, retry
+                if fresh.version == version:
+                    continue
+                registry.swap(name, fresh,
+                              **_serve_engine_options(args, fresh))
+                version = fresh.version
+                print(json.dumps({"event": "swap", "model": name,
+                                  "version": version,
+                                  "num_nodes": fresh.num_nodes}),
+                      flush=True)
+        except KeyboardInterrupt:
+            pass
     finally:
         server.stop(close_registry=True)
+        if access_log is not None:
+            access_log.close_stream()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
     print(json.dumps({"event": "stopped", "model": name,
                       "version": version}), flush=True)
     return 0

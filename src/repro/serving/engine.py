@@ -157,7 +157,10 @@ class QueryEngine:
         try:
             return self._topk(src_nodes, k)
         finally:
-            latency.observe(time.perf_counter() - start)
+            # exemplar: a sampled serving request links its trace id to
+            # the latency observation (no-op outside a request context)
+            latency.observe(time.perf_counter() - start,
+                            obs.requestctx.exemplar())
             batch_size.observe(max(1, np.size(src_nodes)))
             # deltas, not absolutes: concurrent topk calls each publish
             # their own counter increments; clamp against a racing

@@ -12,7 +12,11 @@ serve real sockets. Routes:
   pairs (either side may be a scalar, broadcast against the other);
 * ``GET  /healthz`` — liveness plus the model list;
 * ``GET  /metrics`` — the :mod:`repro.obs` registry in Prometheus text
-  exposition format.
+  exposition format;
+* ``GET  /debug/traces`` — a bounded ring of recent *sampled* request
+  trace trees (``?route=&status=&min_ms=&limit=`` filters);
+* ``GET  /debug/vars`` — config, models, batcher/queue state, and a
+  metrics snapshot in one JSON document.
 
 The core is the **dynamic micro-batcher**: concurrent ``topk`` requests
 for the same ``(model, k)`` land on one :class:`asyncio.Queue`, and a
@@ -39,7 +43,20 @@ Production concerns are first-class:
   the old engine, whose retrieval backend degrades gracefully while
   closing);
 * **graceful shutdown** — new admissions get ``503``, queued batches
-  drain, then the loop exits.
+  drain, then the loop exits;
+* **per-request visibility** — every request gets a
+  :class:`~repro.obs.requestctx.TraceContext` (honoring an incoming
+  W3C ``traceparent`` header; malformed headers start a fresh trace)
+  that survives the queue hand-off and the executor hop, and every
+  response carries ``x-trace-id`` / ``x-request-id`` / ``traceparent``
+  headers. With collection on, sampled requests build a
+  root → queue → batch → engine(→ shard) span chain — the *batch* span
+  is shared by (and linked to) every member request, so one slow batch
+  explains all its riders — retained in a bounded ring behind
+  ``/debug/traces``; latency histograms carry trace exemplars; and an
+  optional :class:`~repro.obs.requestlog.RequestLogger` emits one
+  rate-bounded JSON access-log line per request (queue wait, batch
+  size, engine time, shed reason).
 
 ``repro-serve serve`` (:mod:`repro.serving.cli`) wraps this in a
 console command; ``examples/http_serving.py`` is the end-to-end tour.
@@ -48,16 +65,21 @@ console command; ``examples/http_serving.py`` is the end-to-end tour.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from urllib.parse import parse_qs
 
 import numpy as np
 
 from .. import obs
 from ..errors import ParameterError, ReproError
+from ..obs import requestctx
+from ..obs.requestlog import RequestLogger, TraceRing
+from ..obs.tracing import Span
 from ..parallel import available_cpus
 from .registry import ServingRegistry
 
@@ -83,6 +105,13 @@ class HTTPServingConfig:
     does not send ``"timeout"``; ``retry_after`` is the hint attached
     to 429 responses; ``max_body`` bounds request bodies; ``workers``
     sizes the thread pool engine calls run on (None: CPU-capped).
+
+    Tracing knobs: ``trace_sample`` is the head-sampling rate for
+    requests that *start* a trace here (propagated ``traceparent``
+    headers keep their own sampled flag) — sampled requests retain
+    their span trees in the ``/debug/traces`` ring (``trace_ring``
+    entries) and attach exemplars to the latency histograms;
+    ``access_log_per_second`` bounds the structured access-log rate.
     """
 
     max_batch: int = 64
@@ -92,6 +121,9 @@ class HTTPServingConfig:
     retry_after: float = 0.05
     max_body: int = 1 << 20
     workers: int | None = None
+    trace_sample: float = 1.0
+    trace_ring: int = 256
+    access_log_per_second: float = 500.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -111,6 +143,12 @@ class HTTPServingConfig:
             raise ParameterError(
                 f"workers must be a positive integer or None, "
                 f"got {self.workers!r}")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ParameterError("trace_sample must be in [0, 1]")
+        if self.trace_ring < 1:
+            raise ParameterError("trace_ring must be >= 1")
+        if self.access_log_per_second <= 0:
+            raise ParameterError("access_log_per_second must be > 0")
 
 
 class _HTTPError(Exception):
@@ -128,15 +166,31 @@ class _Deadline(Exception):
 
 
 class _TopkRequest:
-    """One admitted top-k request waiting in a batcher queue."""
+    """One admitted top-k request waiting in a batcher queue.
 
-    __slots__ = ("nodes", "future", "deadline")
+    Beyond the payload it carries the request's identity across the
+    queue hand-off: the :class:`TraceContext` (so the dispatcher can
+    attribute queue wait / batch size back to the request), the live
+    root span (so the dispatcher can graft the queue and batch spans
+    into the request's tree), and the enqueue timestamps.
+    """
+
+    __slots__ = ("nodes", "future", "deadline", "ctx", "span",
+                 "enqueued_mono", "enqueued_wall")
 
     def __init__(self, nodes: np.ndarray, future: asyncio.Future,
-                 deadline: float) -> None:
+                 deadline: float, *,
+                 ctx: "requestctx.TraceContext | None" = None,
+                 span: Span | None = None,
+                 enqueued_mono: float = 0.0,
+                 enqueued_wall: float = 0.0) -> None:
         self.nodes = nodes
         self.future = future
         self.deadline = deadline
+        self.ctx = ctx
+        self.span = span
+        self.enqueued_mono = enqueued_mono
+        self.enqueued_wall = enqueued_wall
 
 
 class _Batcher:
@@ -157,8 +211,13 @@ class _Batcher:
         self.k = k
         self.queue: asyncio.Queue[_TopkRequest] = asyncio.Queue()
         self.busy = False
-        self.task = asyncio.get_running_loop().create_task(
-            self._run(), name=f"batcher-{model}-k{k}")
+        # The batcher outlives the request that lazily created it, so
+        # its task must start from an *empty* context — created inside
+        # the creating request's context it would inherit that request's
+        # live span and parent every later batch under a finished tree.
+        loop = asyncio.get_running_loop()
+        self.task = contextvars.Context().run(
+            loop.create_task, self._run(), name=f"batcher-{model}-k{k}")
 
     async def _run(self) -> None:
         config = self.server.config
@@ -207,11 +266,16 @@ class ServingHTTPServer:
 
     def __init__(self, registry: ServingRegistry, *,
                  config: HTTPServingConfig | None = None,
-                 metrics: bool = True) -> None:
+                 metrics: bool = True,
+                 access_log: RequestLogger | None = None) -> None:
         self.registry = registry
         self.config = config or HTTPServingConfig()
         self.host: str | None = None
         self.port: int | None = None
+        #: recent sampled request traces, served by /debug/traces
+        self.traces = TraceRing(self.config.trace_ring)
+        self.access_log = access_log
+        self._started_at = time.time()
         workers = self.config.workers or min(4, available_cpus())
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="http-serve")
@@ -386,28 +450,87 @@ class ServingHTTPServer:
 
         start = time.perf_counter()
         route = _route_label(method, path)
-        try:
-            status, payload, content_type, extra = await self._route(
-                method, path, body)
-        except _HTTPError as exc:
-            status, content_type = exc.status, "application/json"
-            payload, extra = self._error_body(str(exc)), exc.headers
-        except Exception as exc:   # noqa: BLE001 - last-resort 500
-            status, content_type = 500, "application/json"
-            payload, extra = self._error_body(
-                f"internal error: {type(exc).__name__}: {exc}"), {}
-        if self._metrics and obs.enabled():
+        ctx = self._request_context(headers)
+        tracing = self._metrics and obs.enabled()
+        root_span = Span("http.request", labels={"route": route},
+                         attributes={"method": method,
+                                     "trace_id": ctx.trace_id,
+                                     "span_id": ctx.span_id}) \
+            if tracing else None
+        status = 500
+        with requestctx.activate(ctx):
+            if root_span is not None:
+                root_span.__enter__()
+            try:
+                status, payload, content_type, extra = await self._route(
+                    method, path, body)
+            except _HTTPError as exc:
+                status, content_type = exc.status, "application/json"
+                payload, extra = self._error_body(str(exc)), exc.headers
+            except Exception as exc:   # noqa: BLE001 - last-resort 500
+                status, content_type = 500, "application/json"
+                payload, extra = self._error_body(
+                    f"internal error: {type(exc).__name__}: {exc}"), {}
+            finally:
+                if root_span is not None:
+                    root_span.annotate(status=status)
+                    root_span.__exit__(None, None, None)
+        duration = time.perf_counter() - start
+        meta = ctx.meta
+        if tracing:
             registry = obs.get_registry()
             registry.histogram(
-                "http_request_seconds", {"route": route}).observe(
-                    time.perf_counter() - start)
+                "http_request_seconds", {"route": route},
+                description="wall-clock request latency per route",
+                ).observe(duration,
+                          {"trace_id": ctx.trace_id} if ctx.sampled
+                          else None)
             registry.counter(
                 "http_requests_total",
-                {"route": route, "status": str(status)}).inc()
+                {"route": route, "status": str(status)},
+                description="requests served, by route and status").inc()
+        if root_span is not None and ctx.sampled:
+            self.traces.record(
+                trace_id=ctx.trace_id, route=route, status=status,
+                duration_seconds=duration, tree=root_span.to_dict(),
+                queue_wait_ms=meta.get("queue_wait_ms"),
+                batch_size=meta.get("batch_size"))
+        if self.access_log is not None:
+            self.access_log.log(
+                route=route, method=method, status=status,
+                duration_ms=round(duration * 1e3, 3),
+                trace_id=ctx.trace_id, request_id=ctx.span_id,
+                model=meta.get("model"), k=meta.get("k"),
+                nodes=meta.get("nodes"),
+                queue_wait_ms=meta.get("queue_wait_ms"),
+                batch_size=meta.get("batch_size"),
+                engine_ms=meta.get("engine_ms"),
+                shed=meta.get("shed"))
+        extra = {**(extra or {}),
+                 "x-trace-id": ctx.trace_id,
+                 "x-request-id": ctx.span_id,
+                 "traceparent": requestctx.format_traceparent(ctx)}
         await self._write(writer, status, payload,
                           content_type=content_type, extra=extra,
                           keep_alive=keep_alive)
         return keep_alive
+
+    def _request_context(self, headers: dict) -> "requestctx.TraceContext":
+        """Mint (or adopt) the request's trace context.
+
+        A valid incoming ``traceparent`` is continued — same trace id,
+        fresh span id, the remote sampled flag honored. Anything else
+        (absent *or malformed*) starts a fresh trace whose sampling
+        decision comes from ``config.trace_sample``; a bad header must
+        never be an error.
+        """
+        parent = requestctx.parse_traceparent(headers.get("traceparent"))
+        if parent is not None:
+            return requestctx.child_context(parent)
+        ctx = requestctx.new_trace()
+        ctx.sampled = requestctx.sample_decision(ctx.trace_id,
+                                                 self.config.trace_sample)
+        return ctx
 
     @staticmethod
     def _error_body(message: str) -> bytes:
@@ -434,7 +557,7 @@ class ServingHTTPServer:
     # ------------------------------------------------------------------
     async def _route(self, method: str, path: str, body: bytes,
                      ) -> tuple[int, bytes, str, dict]:
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         if path == "/healthz":
             _require(method, "GET")
             return self._json(200, {"status": "ok",
@@ -443,6 +566,12 @@ class ServingHTTPServer:
             _require(method, "GET")
             return (200, obs.to_prometheus_text().encode("utf-8"),
                     "text/plain; version=0.0.4", {})
+        if path == "/debug/traces":
+            _require(method, "GET")
+            return self._handle_debug_traces(query)
+        if path == "/debug/vars":
+            _require(method, "GET")
+            return self._handle_debug_vars()
         if path == "/v1/models":
             _require(method, "GET")
             return self._json(200, {"models": [
@@ -472,6 +601,56 @@ class ServingHTTPServer:
             raise _HTTPError(404, str(exc)) from None
 
     # ------------------------------------------------------------------
+    # /debug/* — operator introspection
+    # ------------------------------------------------------------------
+    def _handle_debug_traces(self, query: str,
+                             ) -> tuple[int, bytes, str, dict]:
+        params = parse_qs(query, keep_blank_values=False)
+
+        def one(name: str) -> str | None:
+            values = params.get(name)
+            return values[-1] if values else None
+
+        status = route = None
+        min_ms = 0.0
+        limit = 32
+        try:
+            if one("status") is not None:
+                status = int(one("status"))
+            if one("min_ms") is not None:
+                min_ms = float(one("min_ms"))
+            if one("limit") is not None:
+                limit = int(one("limit"))
+        except ValueError as exc:
+            raise _HTTPError(400, f"bad query parameter: {exc}") from None
+        route = one("route")
+        records = self.traces.list(route=route, status=status,
+                                   min_duration_ms=min_ms, limit=limit)
+        return self._json(200, {"traces": records,
+                                "ring_size": len(self.traces),
+                                "recorded": self.traces.recorded})
+
+    def _handle_debug_vars(self) -> tuple[int, bytes, str, dict]:
+        body = {
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "config": asdict(self.config),
+            "models": self.registry.names(),
+            "pending_requests": self._pending,
+            "batchers": [{"model": model, "k": k, "busy": b.busy,
+                          "queued": b.queue.qsize()}
+                         for (model, k), b in sorted(self._batchers.items())],
+            "closing": self._closing,
+            "obs_enabled": obs.enabled(),
+            "trace_ring": {"size": len(self.traces),
+                           "recorded": self.traces.recorded},
+            "access_log": (self.access_log.stats()
+                           if self.access_log is not None else None),
+        }
+        if obs.enabled():
+            body["metrics"] = obs.snapshot(spans=False)
+        return self._json(200, body)
+
+    # ------------------------------------------------------------------
     # /v1/{model}/topk — the micro-batched path
     # ------------------------------------------------------------------
     async def _handle_topk(self, model: str, payload: dict,
@@ -498,6 +677,9 @@ class ServingHTTPServer:
                            or nodes.max() >= engine.num_nodes):
             raise _HTTPError(400, f"node ids must be in "
                                   f"[0, {engine.num_nodes})")
+        ctx = requestctx.current()
+        if ctx is not None:
+            ctx.meta.update(model=model, k=k, nodes=int(len(nodes)))
         if len(nodes) == 0:
             return self._json(200, {"model": model, "k": k, "results": []})
 
@@ -518,10 +700,18 @@ class ServingHTTPServer:
                             timeout: float,
                             ) -> tuple[np.ndarray, np.ndarray]:
         """Admission control + the queue hand-off to the batcher."""
+        ctx = requestctx.current()
+
+        def shed(reason: str) -> None:
+            if ctx is not None:
+                ctx.meta["shed"] = reason
+
         if self._closing:
+            shed("shutdown")
             raise _HTTPError(503, "server is shutting down")
         config = self.config
         if self._pending >= config.max_queue:
+            shed("overload")
             if self._metrics and obs.enabled():
                 obs.get_registry().counter("http_overload_total").inc()
             raise _HTTPError(
@@ -529,7 +719,10 @@ class ServingHTTPServer:
                 headers={"retry-after": f"{config.retry_after:.3f}"})
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        request = _TopkRequest(nodes, future, loop.time() + timeout)
+        request = _TopkRequest(nodes, future, loop.time() + timeout,
+                               ctx=ctx, span=obs.current_span(),
+                               enqueued_mono=loop.time(),
+                               enqueued_wall=time.time())
         batcher = self._batchers.get((model, k))
         if batcher is None:
             batcher = self._batchers[(model, k)] = _Batcher(self, model, k)
@@ -539,6 +732,7 @@ class ServingHTTPServer:
         try:
             return await future
         except _Deadline:
+            shed("deadline")
             raise _HTTPError(
                 504, f"deadline exceeded after {timeout:.3f}s in queue",
                 headers={"retry-after": f"{config.retry_after:.3f}"}
@@ -557,7 +751,16 @@ class ServingHTTPServer:
 
     async def _dispatch(self, model: str, k: int,
                         batch: list[_TopkRequest]) -> None:
-        """One coalesced engine call; splits results back per request."""
+        """One coalesced engine call; splits results back per request.
+
+        The batcher side of the trace chain: per-member queue waits go
+        into the requests' ``ctx.meta`` (and a histogram), one shared
+        ``http.batch`` span wraps the engine call — entered here, in the
+        batcher's own (clean) context, so the ``serving.engine`` span
+        the worker thread opens nests under it via :func:`requestctx.bind`
+        — and after the call both a synthetic ``http.queue`` span and
+        the batch span are grafted into every member request's tree.
+        """
         loop = asyncio.get_running_loop()
         now = loop.time()
         live: list[_TopkRequest] = []
@@ -573,16 +776,48 @@ class ServingHTTPServer:
             live.append(request)
         if not live:
             return
-        if self._metrics and obs.enabled():
+        tracing = self._metrics and obs.enabled()
+        for request in live:
+            wait = max(0.0, now - request.enqueued_mono)
+            if request.ctx is not None:
+                request.ctx.meta["queue_wait_ms"] = round(wait * 1e3, 3)
+                request.ctx.meta["batch_size"] = len(live)
+            if tracing:
+                sampled = request.ctx is not None and request.ctx.sampled
+                obs.get_registry().histogram(
+                    "http_queue_wait_seconds",
+                    description="time a request waited in the batcher "
+                                "queue before dispatch",
+                    ).observe(wait, {"trace_id": request.ctx.trace_id}
+                              if sampled else None)
+        if tracing:
             obs.get_registry().histogram(
                 "http_batch_requests", {"model": model}).observe(len(live))
+        member_ids = [r.ctx.trace_id for r in live
+                      if r.ctx is not None and r.ctx.sampled]
+        batch_span = Span(
+            "http.batch", labels={"model": model},
+            attributes={"k": k, "batch_size": len(live),
+                        "nodes": int(sum(len(r.nodes) for r in live)),
+                        "member_trace_ids": member_ids}) \
+            if tracing else None
+        exemplar_ctx = next((r.ctx for r in live
+                             if r.ctx is not None and r.ctx.sampled), None)
+        engine_t0 = time.perf_counter()
+        if batch_span is not None:
+            batch_span.__enter__()
         try:
             engine = self.registry.get(model)
             nodes = (live[0].nodes if len(live) == 1
                      else np.concatenate([r.nodes for r in live]))
             ids, scores = await loop.run_in_executor(
-                self._executor, engine.topk, nodes, k)
+                self._executor,
+                requestctx.bind(self._engine_call, engine, nodes, k,
+                                ctx=exemplar_ctx))
         except BaseException as exc:   # noqa: BLE001 - routed per request
+            if batch_span is not None:
+                batch_span.__exit__(type(exc), exc, None)
+                batch_span = None
             # A swap can shrink the model between per-request validation
             # and dispatch; re-run requests solo so one stale id cannot
             # poison its batch peers.
@@ -594,14 +829,36 @@ class ServingHTTPServer:
                 if not request.future.done():
                     request.future.set_exception(exc)
             return
+        engine_ms = round((time.perf_counter() - engine_t0) * 1e3, 3)
+        if batch_span is not None:
+            batch_span.annotate(engine_ms=engine_ms)
+            batch_span.__exit__(None, None, None)
         offset = 0
         for request in live:
             count = len(request.nodes)
+            if request.ctx is not None:
+                request.ctx.meta["engine_ms"] = engine_ms
+            if request.span is not None and batch_span is not None:
+                # Synthetic queue span: timed from the enqueue stamps,
+                # never entered (so it feeds no span metrics), grafted
+                # next to the shared batch span. This runs on the loop
+                # thread *before* the future resolves, so the handler
+                # cannot be serializing the tree concurrently.
+                queue_span = Span("http.queue")
+                queue_span.started_at = request.enqueued_wall
+                queue_span.duration = max(0.0, now - request.enqueued_mono)
+                request.span.children.append(queue_span)
+                request.span.children.append(batch_span)
             if not request.future.done():
                 request.future.set_result(
                     (ids[offset:offset + count],
                      scores[offset:offset + count]))
             offset += count
+
+    def _engine_call(self, engine, nodes: np.ndarray, k: int):
+        """The coalesced call, on a worker thread, inside the trace."""
+        with obs.trace("serving.engine", nodes=int(len(nodes)), k=int(k)):
+            return engine.topk(nodes, k)
 
     # ------------------------------------------------------------------
     # /v1/{model}/score

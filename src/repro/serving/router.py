@@ -30,12 +30,18 @@ import numpy as np
 
 from .. import obs
 from ..errors import ParameterError
+from ..obs import requestctx
 from ..parallel import available_cpus
 from .engine import QueryEngine
 from .index import _topk_rows, build_index
 from .sharding import ShardedMatrix, shard_boundaries
 
 __all__ = ["ShardRouter", "ShardedQueryEngine", "make_engine"]
+
+
+def _invoke(thunk):
+    """Run a context-bound zero-arg callable (``pool.map`` payload)."""
+    return thunk()
 
 
 class ShardRouter:
@@ -126,9 +132,10 @@ class ShardRouter:
         def one(entry):
             shard, offset, index = entry
             if on:
-                # each worker thread opens its own root span: per-shard
-                # fan-out latency and span counts land in the registry
-                # (labels are bounded: one series per shard)
+                # per-shard span: inside a serving request the scatter
+                # runs under a copy of the caller's context, so these
+                # nest under the engine's span instead of detaching into
+                # per-thread roots (labels stay bounded: one per shard)
                 with obs.trace("router.shard",
                                labels={"shard": str(shard)}) as span:
                     ids, scores = index.search(queries, k)
@@ -141,7 +148,9 @@ class ShardRouter:
         pool = self._pool
         if pool is not None and len(queries):
             try:
-                partials = list(pool.map(one, self._indexes))
+                partials = list(pool.map(
+                    _invoke, [requestctx.bind(one, entry)
+                              for entry in self._indexes]))
             except RuntimeError:
                 # close() raced us (a hot swap retired this router while
                 # a reader that resolved the engine earlier was still

@@ -1,5 +1,6 @@
 """Unit tests for Span / trace(): nesting, unwinding, disabled no-op."""
 
+import asyncio
 import threading
 
 import pytest
@@ -82,6 +83,40 @@ def test_worker_thread_spans_are_roots():
     assert names == ["main_root", "worker"]
     assert reg.counter("span_total", {"name": "worker",
                                       "shard": "0"}).value == 1
+
+
+def test_interleaved_coroutines_build_separate_trees():
+    """Two requests interleaving on one event loop must not mis-nest.
+
+    The pre-contextvars implementation kept one thread-local span
+    stack, so two coroutines overlapping their ``trace()`` blocks on
+    the same loop thread interleaved into a single corrupted tree:
+    request B's spans nested under request A's live root. Each asyncio
+    task runs in its own context now, so each request owns its tree.
+    """
+    async def request(name: str, gate: asyncio.Event,
+                      release: asyncio.Event) -> None:
+        with obs.trace(f"root.{name}"):
+            release.set()           # let the other request open its root
+            await gate.wait()       # ...while ours is still live
+            with obs.trace(f"child.{name}"):
+                await asyncio.sleep(0)
+
+    async def storm() -> None:
+        gate_a, gate_b = asyncio.Event(), asyncio.Event()
+        # A opens its root first, then B opens its root while A's is
+        # live, then both open/close children and exit out of order.
+        await asyncio.gather(request("a", gate_a, gate_b),
+                             request("b", gate_b, gate_a))
+
+    with obs.capture() as reg:
+        asyncio.run(storm())
+    roots = {span.name: span for span in reg.spans()}
+    assert sorted(roots) == ["root.a", "root.b"]
+    for name in ("a", "b"):
+        tree = roots[f"root.{name}"]
+        assert [c.name for c in tree.children] == [f"child.{name}"]
+    assert obs.current_span() is None
 
 
 def test_registry_span_retention_bounded():

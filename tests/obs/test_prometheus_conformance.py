@@ -1,0 +1,144 @@
+"""Line-by-line conformance tests for the Prometheus text exposition.
+
+Instead of spot-checking substrings, these tests parse every line the
+exporter emits against the exposition-format grammar: ``# HELP`` /
+``# TYPE`` comments, ``name{labels} value`` samples, counters
+``_total``-suffixed, histogram ``le`` buckets cumulative and monotone
+with the ``+Inf`` bucket equal to ``_count``.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro import obs
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[^ ]+)$")
+
+
+def _parse(text):
+    """Exposition text -> (types, helps, samples) with grammar checks."""
+    types, helps, samples = {}, {}, []
+    for line in text.splitlines():
+        assert line == line.strip() and line, f"stray whitespace: {line!r}"
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert NAME_RE.match(name), name
+            assert kind in ("counter", "gauge", "histogram"), kind
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            _, _, name, text_ = line.split(" ", 3)
+            assert NAME_RE.match(name), name
+            helps[name] = text_
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = SAMPLE_RE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        labels = {}
+        if match.group("labels"):
+            consumed = LABEL_RE.sub("", match.group("labels"))
+            assert set(consumed) <= {","}, \
+                f"bad label syntax: {match.group('labels')!r}"
+            labels = dict(LABEL_RE.findall(match.group("labels")))
+        value = match.group("value")
+        parsed = (math.inf if value == "+Inf"
+                  else -math.inf if value == "-Inf"
+                  else math.nan if value == "NaN" else float(value))
+        samples.append((match.group("name"), labels, parsed))
+    return types, helps, samples
+
+
+@pytest.fixture
+def registry():
+    obs.set_enabled(True)
+    registry = obs.get_registry()
+    registry.counter("req", {"code": "200"},
+                     description="requests by status").inc(7)
+    registry.counter("req", {"code": "500"}).inc(1)
+    registry.counter("shed_total").inc(3)
+    registry.gauge("queue_depth", description="pending requests").set(12)
+    for v in (0.001, 0.004, 0.004, 0.02, 1.5, 120.0):
+        registry.histogram("lat_seconds", {"route": "/x"},
+                           description="latency").observe(v)
+    return registry
+
+
+def test_every_line_parses_and_every_sample_has_a_type(registry):
+    types, helps, samples = _parse(obs.to_prometheus_text(registry))
+    assert samples, "no samples emitted"
+    for name, labels, value in samples:
+        base = re.sub(r"_(bucket|sum|count)$", "", name) \
+            if types.get(name) is None else name
+        assert base in types, f"sample {name} has no TYPE header"
+
+
+def test_counters_are_total_suffixed(registry):
+    types, _, samples = _parse(obs.to_prometheus_text(registry))
+    counter_names = {n for n, kind in types.items() if kind == "counter"}
+    assert counter_names == {"req_total", "shed_total"}
+    for name in counter_names:
+        assert name.endswith("_total")
+    values = {(n, labels.get("code")): v for n, labels, v in samples
+              if n in counter_names}
+    assert values[("req_total", "200")] == 7
+    assert values[("req_total", "500")] == 1
+    assert values[("shed_total", None)] == 3
+
+
+def test_help_lines_come_from_descriptions(registry):
+    text = obs.to_prometheus_text(registry)
+    _, helps, _ = _parse(text)
+    assert helps["req_total"] == "requests by status"
+    assert helps["queue_depth"] == "pending requests"
+    assert helps["lat_seconds"] == "latency"
+    # HELP precedes TYPE for the same name, per convention
+    lines = text.splitlines()
+    assert lines.index("# HELP req_total requests by status") \
+        < lines.index("# TYPE req_total counter")
+    # a metric with no description gets no HELP line
+    assert "shed_total" not in helps
+
+
+def test_histogram_buckets_cumulative_monotone_inf_equals_count(registry):
+    types, _, samples = _parse(obs.to_prometheus_text(registry))
+    assert types["lat_seconds"] == "histogram"
+    buckets = [(labels["le"], value) for name, labels, value in samples
+               if name == "lat_seconds_bucket"]
+    assert buckets, "no bucket samples"
+    edges = [math.inf if edge == "+Inf" else float(edge)
+             for edge, _ in buckets]
+    assert edges == sorted(edges), "le edges not ascending"
+    assert edges[-1] == math.inf, "missing +Inf bucket"
+    counts = [count for _, count in buckets]
+    assert counts == sorted(counts), "bucket counts not cumulative"
+    count = next(v for n, _, v in samples if n == "lat_seconds_count")
+    total = next(v for n, _, v in samples if n == "lat_seconds_sum")
+    assert counts[-1] == count == 6
+    assert total == pytest.approx(121.529)
+
+
+def test_label_values_escaped():
+    obs.set_enabled(True)
+    registry = obs.get_registry()
+    registry.counter("odd", {"path": 'a"b\\c\nd'}).inc()
+    text = obs.to_prometheus_text(registry)
+    _, _, samples = _parse(text)
+    (name, labels, value), = [s for s in samples if s[0] == "odd_total"]
+    assert labels["path"] == r'a\"b\\c\nd'
+
+
+def test_already_suffixed_counter_not_doubled():
+    obs.set_enabled(True)
+    registry = obs.get_registry()
+    registry.counter("hits_total").inc()
+    types, _, _ = _parse(obs.to_prometheus_text(registry))
+    assert "hits_total" in types
+    assert "hits_total_total" not in types

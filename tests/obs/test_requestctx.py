@@ -1,0 +1,195 @@
+"""Unit tests for repro.obs.requestctx: trace identity across hops."""
+
+import asyncio
+import contextvars
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import obs
+from repro.obs import requestctx
+
+
+# ------------------------------------------------------------- identity
+def test_new_trace_mints_w3c_sized_ids():
+    ctx = requestctx.new_trace()
+    assert len(ctx.trace_id) == 32
+    assert len(ctx.span_id) == 16
+    assert set(ctx.trace_id) <= set("0123456789abcdef")
+    assert set(ctx.span_id) <= set("0123456789abcdef")
+    assert ctx.sampled
+    assert ctx.parent_span_id is None
+    other = requestctx.new_trace()
+    assert other.trace_id != ctx.trace_id
+
+
+def test_child_context_shares_trace_and_meta():
+    parent = requestctx.new_trace(sampled=False)
+    parent.meta["model"] = "m"
+    child = requestctx.child_context(parent)
+    assert child.trace_id == parent.trace_id
+    assert child.span_id != parent.span_id
+    assert child.parent_span_id == parent.span_id
+    assert child.sampled is False
+    child.meta["batch_size"] = 4                 # visible through the alias
+    assert parent.meta == {"model": "m", "batch_size": 4}
+
+
+def test_remaining_tracks_deadline():
+    ctx = requestctx.new_trace(deadline=100.0)
+    assert ctx.remaining(now=90.0) == pytest.approx(10.0)
+    assert ctx.remaining(now=105.0) == pytest.approx(-5.0)
+    assert requestctx.new_trace().remaining() is None
+
+
+def test_sample_decision_is_deterministic_and_monotone():
+    ctx = requestctx.new_trace()
+    assert requestctx.sample_decision(ctx.trace_id, 1.0) is True
+    assert requestctx.sample_decision(ctx.trace_id, 0.0) is False
+    first = requestctx.sample_decision(ctx.trace_id, 0.5)
+    assert all(requestctx.sample_decision(ctx.trace_id, 0.5) == first
+               for _ in range(5))
+    # a trace sampled at a low rate stays sampled at any higher rate
+    if requestctx.sample_decision(ctx.trace_id, 0.25):
+        assert requestctx.sample_decision(ctx.trace_id, 0.75)
+
+
+def test_sample_rate_roughly_honored():
+    hits = sum(requestctx.sample_decision(requestctx.new_trace().trace_id,
+                                          0.3) for _ in range(2000))
+    assert 0.2 < hits / 2000 < 0.4
+
+
+# ------------------------------------------------------ current/activate
+def test_activate_scopes_current():
+    assert requestctx.current() is None
+    ctx = requestctx.new_trace()
+    with requestctx.activate(ctx) as active:
+        assert active is ctx
+        assert requestctx.current() is ctx
+        inner = requestctx.new_trace()
+        with requestctx.activate(inner):
+            assert requestctx.current() is inner
+        assert requestctx.current() is ctx
+    assert requestctx.current() is None
+
+
+def test_exemplar_only_for_sampled_context():
+    assert requestctx.exemplar() is None
+    with requestctx.activate(requestctx.new_trace(sampled=False)):
+        assert requestctx.exemplar() is None
+    ctx = requestctx.new_trace()
+    with requestctx.activate(ctx):
+        assert requestctx.exemplar() == {"trace_id": ctx.trace_id}
+
+
+# ------------------------------------------------------------ traceparent
+def test_traceparent_round_trip():
+    ctx = requestctx.new_trace()
+    parsed = requestctx.parse_traceparent(requestctx.format_traceparent(ctx))
+    assert parsed is not None
+    assert parsed.trace_id == ctx.trace_id
+    assert parsed.parent_span_id == ctx.span_id     # remote span -> parent
+    assert parsed.span_id != ctx.span_id            # fresh local hop id
+    assert parsed.sampled is True
+    unsampled = requestctx.parse_traceparent(
+        requestctx.format_traceparent(requestctx.new_trace(sampled=False)))
+    assert unsampled.sampled is False
+
+
+@pytest.mark.parametrize("header", [
+    None,
+    "",
+    "garbage",
+    "00-abc-def-01",                                       # wrong widths
+    "00" + "-" + "g" * 32 + "-" + "a" * 16 + "-01",        # non-hex trace
+    "00-" + "A" * 32 + "-" + "a" * 16 + "-01",             # uppercase hex
+    "ff-" + "a" * 32 + "-" + "b" * 16 + "-01",             # reserved version
+    "00-" + "0" * 32 + "-" + "b" * 16 + "-01",             # all-zero trace
+    "00-" + "a" * 32 + "-" + "0" * 16 + "-01",             # all-zero span
+    "00-" + "a" * 32 + "-" + "b" * 16 + "-01-extra",       # v00 extra field
+    "0-" + "a" * 32 + "-" + "b" * 16 + "-01",              # short version
+])
+def test_malformed_traceparent_parses_to_none(header):
+    assert requestctx.parse_traceparent(header) is None
+
+
+def test_future_version_with_extra_fields_accepted():
+    header = "01-" + "a" * 32 + "-" + "b" * 16 + "-00-whatever"
+    parsed = requestctx.parse_traceparent(header)
+    assert parsed is not None
+    assert parsed.trace_id == "a" * 32
+    assert parsed.sampled is False
+
+
+# ------------------------------------------------- bind: executor crossing
+def test_bind_carries_span_parent_into_pool(enabled_registry):
+    results = {}
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        with obs.trace("outer") as outer:
+            def work():
+                results["parent"] = obs.current_span()
+                with obs.trace("inner.pool"):
+                    pass
+            pool.submit(requestctx.bind(work)).result()
+        # the pooled span nested under the caller's live span instead of
+        # detaching into a pool-thread root
+    assert results["parent"] is outer
+    names = [child.name for child in outer.children]
+    assert names == ["inner.pool"]
+
+
+def test_bind_does_not_leak_between_pooled_tasks(enabled_registry):
+    seen = []
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        ctx = requestctx.new_trace()
+        with requestctx.activate(ctx):
+            pool.submit(requestctx.bind(
+                lambda: seen.append(requestctx.current()))).result()
+        # an *unbound* task on the same worker thread must start clean
+        pool.submit(lambda: seen.append(requestctx.current())).result()
+        # and a bound task after the context exited sees its own snapshot
+        pool.submit(requestctx.bind(
+            lambda: seen.append(requestctx.current()))).result()
+    assert seen[0] is ctx
+    assert seen[1] is None
+    assert seen[2] is None
+
+
+def test_bind_ctx_override_rebinds_trace_context():
+    override = requestctx.new_trace()
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        with requestctx.activate(requestctx.new_trace()):
+            got = pool.submit(requestctx.bind(
+                requestctx.current, ctx=override)).result()
+    assert got is override
+
+
+def test_bind_passes_args_and_returns_value():
+    assert requestctx.bind(lambda a, b=0: a + b, 2, b=3)() == 5
+
+
+def test_bind_across_run_in_executor(enabled_registry):
+    async def go():
+        loop = asyncio.get_running_loop()
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            with obs.trace("async.outer") as outer:
+                def work():
+                    with obs.trace("executor.child"):
+                        pass
+                    return requestctx.current()
+                ctx = requestctx.new_trace()
+                with requestctx.activate(ctx):
+                    got = await loop.run_in_executor(
+                        pool, requestctx.bind(work))
+        return outer, ctx, got
+
+    outer, ctx, got = asyncio.run(go())
+    assert got is ctx
+    assert [c.name for c in outer.children] == ["executor.child"]
+
+
+@pytest.fixture
+def enabled_registry():
+    obs.set_enabled(True)
+    yield obs.get_registry()

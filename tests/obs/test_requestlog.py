@@ -1,0 +1,186 @@
+"""Unit tests for repro.obs.requestlog: access logs + the trace ring."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.requestlog import RequestLogger, TraceRing
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+# ---------------------------------------------------------- RequestLogger
+def test_lines_are_json_with_sorted_keys_and_ts():
+    buf = io.StringIO()
+    logger = RequestLogger(buf, buffer_lines=1)
+    assert logger.log(route="/x", status=200, b=1, a=2)
+    line = buf.getvalue().strip()
+    record = json.loads(line)
+    assert record["route"] == "/x" and record["status"] == 200
+    assert "ts" in record
+    keys = list(record)
+    assert keys == sorted(keys)
+
+
+def test_none_fields_are_elided():
+    buf = io.StringIO()
+    logger = RequestLogger(buf, buffer_lines=1)
+    logger.log(route="/x", status=200, shed=None, batch_size=None)
+    record = json.loads(buf.getvalue())
+    assert "shed" not in record and "batch_size" not in record
+
+
+def test_buffering_and_flush():
+    buf = io.StringIO()
+    logger = RequestLogger(buf, buffer_lines=10)
+    for _ in range(9):
+        logger.log(n=1)
+    assert buf.getvalue() == ""                 # still buffered
+    logger.log(n=2)                             # 10th line: auto-flush
+    assert len(buf.getvalue().splitlines()) == 10
+    logger.log(n=3)
+    logger.flush()                              # explicit drain-path flush
+    assert len(buf.getvalue().splitlines()) == 11
+
+
+def test_rate_limit_drops_and_counts():
+    clock = FakeClock()
+    buf = io.StringIO()
+    logger = RequestLogger(buf, max_per_second=5.0, burst=5,
+                           buffer_lines=1, clock=clock)
+    accepted = sum(logger.log(n=i) for i in range(20))
+    assert accepted == 5                        # burst capacity
+    assert logger.dropped == 15
+    clock.now += 1.0                            # refill ~5 tokens
+    accepted2 = sum(logger.log(n=i) for i in range(20))
+    assert accepted2 == 5
+    stats = logger.stats()
+    assert stats["written"] == 10 and stats["dropped"] == 30
+
+
+def test_drops_export_metric_when_enabled():
+    obs.set_enabled(True)
+    clock = FakeClock()
+    logger = RequestLogger(io.StringIO(), max_per_second=1.0, burst=1,
+                           clock=clock)
+    logger.log(n=1)
+    logger.log(n=2)                             # dropped
+    counter = obs.get_registry().counter("access_log_dropped_total")
+    assert counter.value == 1
+
+
+def test_close_refuses_further_lines():
+    buf = io.StringIO()
+    logger = RequestLogger(buf, buffer_lines=100)
+    logger.log(n=1)
+    logger.close()
+    assert buf.getvalue() != ""                 # close flushed the buffer
+    assert logger.log(n=2) is False
+
+
+def test_closed_stream_does_not_raise():
+    class Closing(io.StringIO):
+        def write(self, s):
+            raise ValueError("I/O operation on closed file")
+    logger = RequestLogger(Closing(), buffer_lines=1)
+    assert logger.log(n=1) is True              # accepted, then lost
+    assert logger.dropped == 1                  # accounted, not raised
+
+
+def test_to_path_appends_and_close_stream(tmp_path):
+    path = tmp_path / "access.log"
+    logger = RequestLogger.to_path(path, buffer_lines=1)
+    logger.log(n=1)
+    logger.close_stream()
+    again = RequestLogger.to_path(path, buffer_lines=1)
+    again.log(n=2)
+    again.close_stream()
+    records = [json.loads(line) for line in
+               path.read_text().strip().splitlines()]
+    assert [r["n"] for r in records] == [1, 2]
+
+
+def test_logger_validates_parameters():
+    with pytest.raises(ValueError):
+        RequestLogger(io.StringIO(), max_per_second=0)
+    with pytest.raises(ValueError):
+        RequestLogger(io.StringIO(), buffer_lines=0)
+
+
+def test_concurrent_logging_is_consistent():
+    buf = io.StringIO()
+    logger = RequestLogger(buf, max_per_second=1e9, buffer_lines=7)
+    threads = [threading.Thread(
+        target=lambda i=i: [logger.log(t=i, n=j) for j in range(50)])
+        for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    logger.flush()
+    lines = buf.getvalue().splitlines()
+    assert len(lines) == 200 == logger.written
+    for line in lines:
+        json.loads(line)                        # every line valid JSON
+
+
+# -------------------------------------------------------------- TraceRing
+def test_ring_records_and_lists_newest_first():
+    ring = TraceRing(maxlen=10)
+    for i in range(3):
+        ring.record(trace_id=f"t{i}", route="/x", status=200,
+                    duration_seconds=0.001 * (i + 1))
+    out = ring.list()
+    assert [r["trace_id"] for r in out] == ["t2", "t1", "t0"]
+    assert out[0]["duration_ms"] == pytest.approx(3.0)
+
+
+def test_ring_is_bounded():
+    ring = TraceRing(maxlen=4)
+    for i in range(10):
+        ring.record(trace_id=f"t{i}", route="/x", status=200,
+                    duration_seconds=0.0)
+    assert len(ring) == 4
+    assert ring.recorded == 10
+    assert [r["trace_id"] for r in ring.list()] == ["t9", "t8", "t7", "t6"]
+
+
+def test_ring_filters():
+    ring = TraceRing()
+    ring.record(trace_id="a", route="/x", status=200,
+                duration_seconds=0.010)
+    ring.record(trace_id="b", route="/y", status=500,
+                duration_seconds=0.050)
+    ring.record(trace_id="c", route="/x", status=200,
+                duration_seconds=0.002)
+    assert [r["trace_id"] for r in ring.list(route="/x")] == ["c", "a"]
+    assert [r["trace_id"] for r in ring.list(status=500)] == ["b"]
+    assert [r["trace_id"]
+            for r in ring.list(min_duration_ms=5.0)] == ["b", "a"]
+    assert [r["trace_id"] for r in ring.list(limit=1)] == ["c"]
+    assert ring.list(limit=0) == []
+
+
+def test_ring_keeps_tree_and_extras():
+    ring = TraceRing()
+    tree = {"name": "http.request", "duration_seconds": 0.01}
+    record = ring.record(trace_id="a", route="/x", status=200,
+                         duration_seconds=0.01, tree=tree,
+                         batch_size=4, queue_wait_ms=None)
+    assert record["tree"] is tree
+    assert record["batch_size"] == 4
+    assert "queue_wait_ms" not in record        # None extras elided
+
+
+def test_ring_validates_maxlen():
+    with pytest.raises(ValueError):
+        TraceRing(maxlen=0)

@@ -177,21 +177,22 @@ class BarrierSchedule:
 # real-socket HTTP storms
 # ----------------------------------------------------------------------
 
-def http_json(conn, method: str, path: str, payload=None,
-              ) -> tuple[int, dict, dict]:
+def http_json(conn, method: str, path: str, payload=None, *,
+              headers: dict | None = None) -> tuple[int, dict, dict]:
     """One JSON exchange on a persistent ``http.client`` connection.
 
     Returns ``(status, body, headers)``; non-JSON bodies come back as
-    ``{"raw": text}``. Storm work functions keep one connection per
-    thread (HTTP keep-alive), which is both faster and exactly how a
-    production client pool behaves.
+    ``{"raw": text}``. ``headers=`` adds request headers (e.g. a
+    ``traceparent`` for propagation tests). Storm work functions keep
+    one connection per thread (HTTP keep-alive), which is both faster
+    and exactly how a production client pool behaves.
     """
     body = None
-    headers = {}
+    send_headers = dict(headers or {})
     if payload is not None:
         body = json.dumps(payload)
-        headers["content-type"] = "application/json"
-    conn.request(method, path, body, headers)
+        send_headers["content-type"] = "application/json"
+    conn.request(method, path, body, send_headers)
     response = conn.getresponse()
     raw = response.read()
     try:
